@@ -1,0 +1,32 @@
+# Targets mirror .github/workflows/ci.yml so local runs and CI stay in sync.
+
+GO ?= go
+COVER_PKGS := ./internal/stats/... ./internal/meter/...
+COVER_FLOOR := 70
+
+.PHONY: all build test lint cover clean
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+	$(GO) build -o bin/energybench ./cmd/energybench
+
+test:
+	$(GO) test -race -count=1 ./...
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
+	$(GO) tool cover -func=cover.out
+	@pct=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total coverage: $$pct%"; \
+	awk -v p="$$pct" -v floor="$(COVER_FLOOR)" 'BEGIN { exit !(p + 0 >= floor) }' || { \
+		echo "coverage $$pct% is below the $(COVER_FLOOR)% floor" >&2; exit 1; }
+
+clean:
+	rm -rf bin cover.out

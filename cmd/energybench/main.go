@@ -1,0 +1,181 @@
+// Command energybench sweeps a micro-benchmark exploration space
+// (kernels × thread counts × placements), measures energy per configuration,
+// and emits JSON results.
+//
+//	energybench list
+//	energybench run --meter=mock --reps=3 --threads=1,2 --placement=none
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"energybench/internal/bench"
+	"energybench/internal/harness"
+	"energybench/internal/meter"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "energybench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		usage(stderr)
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "list":
+		return cmdList(stdout)
+	case "run":
+		return cmdRun(ctx, args[1:], stdout, stderr)
+	case "-h", "--help", "help":
+		usage(stdout)
+		return nil
+	default:
+		usage(stderr)
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
+  energybench list                 print the benchmark catalog as JSON
+  energybench run [flags]          sweep the exploration space, print JSON results
+
+run flags:
+  --meter=mock|rapl   energy backend (default mock; rapl needs /sys/class/powercap read access)
+  --mock-watts=N      constant power the mock meter models (default 42)
+  --specs=a,b         comma-separated spec names (default: full catalog)
+  --threads=1,2       comma-separated thread counts (default 1,2)
+  --placement=p,q     comma-separated placements: none|compact|scatter (default none)
+  --reps=N            measured repetitions per configuration (default 3)
+  --warmup=N          discarded warm-up repetitions (default 1)
+  --iter-scale=F      scale every spec's default iteration count (default 1.0)
+  --max-cv=F          CV threshold for outlier rejection, 0 disables (default 0.2)
+  --progress          log one line per configuration to stderr`)
+}
+
+func cmdList(stdout io.Writer) error {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bench.Catalog())
+}
+
+func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		meterName = fs.String("meter", "mock", "energy backend: mock|rapl")
+		mockWatts = fs.Float64("mock-watts", 42, "constant power modeled by the mock meter")
+		specsFlag = fs.String("specs", "", "comma-separated spec names (default: full catalog)")
+		threads   = fs.String("threads", "1,2", "comma-separated thread counts")
+		placement = fs.String("placement", "none", "comma-separated placements: none|compact|scatter")
+		reps      = fs.Int("reps", 3, "measured repetitions per configuration")
+		warmup    = fs.Int("warmup", 1, "discarded warm-up repetitions")
+		iterScale = fs.Float64("iter-scale", 1.0, "scale factor applied to every spec's iteration count")
+		maxCV     = fs.Float64("max-cv", 0.2, "CV threshold for outlier rejection (0 disables)")
+		progress  = fs.Bool("progress", false, "log one line per configuration to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *iterScale <= 0 {
+		return fmt.Errorf("--iter-scale must be positive, got %v", *iterScale)
+	}
+
+	space := harness.Space{
+		Reps:      *reps,
+		Warmup:    *warmup,
+		IterScale: *iterScale,
+		MaxCV:     *maxCV,
+	}
+
+	if *specsFlag == "" {
+		space.Specs = bench.Catalog()
+	} else {
+		for _, name := range splitNonEmpty(*specsFlag) {
+			s, err := bench.Lookup(name)
+			if err != nil {
+				return err
+			}
+			space.Specs = append(space.Specs, s)
+		}
+	}
+	var err error
+	if space.ThreadCounts, err = parseIntList(*threads); err != nil {
+		return fmt.Errorf("--threads: %w", err)
+	}
+	for _, p := range splitNonEmpty(*placement) {
+		pl, err := harness.ParsePlacement(p)
+		if err != nil {
+			return err
+		}
+		space.Placements = append(space.Placements, pl)
+	}
+
+	var m meter.EnergyMeter
+	switch *meterName {
+	case "mock":
+		m = meter.NewMock(*mockWatts)
+	case "rapl":
+		if m, err = meter.NewRAPL(meter.DefaultPowercapRoot); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown meter %q (want mock|rapl)", *meterName)
+	}
+
+	runner := &harness.Runner{Meter: m}
+	if *progress {
+		runner.Log = func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+	results, err := runner.Run(ctx, space)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseIntList(s string) ([]int, error) {
+	parts := splitNonEmpty(s)
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"energybench/internal/harness"
+	"energybench/internal/stats"
+)
+
+// cliResult mirrors harness.Result for decoding the CLI's JSON output.
+type cliResult struct {
+	Spec      string            `json:"spec"`
+	Component string            `json:"component"`
+	Threads   int               `json:"threads"`
+	Placement harness.Placement `json:"placement"`
+	Meter     string            `json:"meter"`
+	Samples   []harness.Sample  `json:"samples"`
+	EnergyJ   stats.Summary     `json:"energy_j_summary"`
+	TimeS     stats.Summary     `json:"time_s_summary"`
+	PowerW    stats.Summary     `json:"power_w_summary"`
+	EDP       float64           `json:"edp_js"`
+}
+
+// TestRunMockEndToEnd is the acceptance-criteria integration test: a full
+// `energybench run --meter=mock --reps=3` sweep over the catalog at two
+// thread counts must produce valid JSON with energy, time, power, and EDP
+// for every configuration — with no RAPL hardware available.
+func TestRunMockEndToEnd(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"run",
+		"--meter=mock",
+		"--reps=3",
+		"--warmup=1",
+		"--threads=1,2",
+		"--placement=none",
+		"--iter-scale=0.01", // keep CI wall time low; iteration counts stay >0
+	}
+	if err := run(context.Background(), args, &stdout, &stderr); err != nil {
+		t.Fatalf("run failed: %v\nstderr: %s", err, stderr.String())
+	}
+
+	var results []cliResult
+	if err := json.Unmarshal(stdout.Bytes(), &results); err != nil {
+		t.Fatalf("output is not valid JSON: %v\noutput: %.500s", err, stdout.String())
+	}
+
+	specs := map[string]bool{}
+	threads := map[int]bool{}
+	for _, r := range results {
+		specs[r.Spec] = true
+		threads[r.Threads] = true
+		if r.Meter != "mock" {
+			t.Errorf("%s/t%d: meter = %q, want mock", r.Spec, r.Threads, r.Meter)
+		}
+		if len(r.Samples) != 3 {
+			t.Errorf("%s/t%d: %d samples, want 3", r.Spec, r.Threads, len(r.Samples))
+		}
+		if r.EnergyJ.Mean <= 0 {
+			t.Errorf("%s/t%d: energy mean %v, want > 0", r.Spec, r.Threads, r.EnergyJ.Mean)
+		}
+		if r.TimeS.Mean <= 0 {
+			t.Errorf("%s/t%d: time mean %v, want > 0", r.Spec, r.Threads, r.TimeS.Mean)
+		}
+		if r.PowerW.Mean <= 0 {
+			t.Errorf("%s/t%d: power mean %v, want > 0", r.Spec, r.Threads, r.PowerW.Mean)
+		}
+		if r.EDP <= 0 {
+			t.Errorf("%s/t%d: EDP %v, want > 0", r.Spec, r.Threads, r.EDP)
+		}
+	}
+	if len(specs) < 6 {
+		t.Errorf("swept %d distinct specs (%v), want at least 6", len(specs), specs)
+	}
+	if len(threads) < 2 {
+		t.Errorf("swept %d distinct thread counts (%v), want at least 2", len(threads), threads)
+	}
+}
+
+func TestListEmitsCatalogJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(), []string{"list"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	var specs []map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &specs); err != nil {
+		t.Fatalf("list output is not valid JSON: %v", err)
+	}
+	if len(specs) < 6 {
+		t.Errorf("list printed %d specs, want at least 6", len(specs))
+	}
+	for _, s := range specs {
+		if s["name"] == "" || s["name"] == nil {
+			t.Errorf("spec missing name: %v", s)
+		}
+	}
+}
+
+func TestRunSpecFilterAndErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"run", "--specs=int-alu", "--threads=1", "--reps=2", "--warmup=0", "--iter-scale=0.01"}
+	if err := run(context.Background(), args, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	var results []cliResult
+	if err := json.Unmarshal(stdout.Bytes(), &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Spec != "int-alu" {
+		t.Errorf("got %v, want exactly one int-alu result", results)
+	}
+
+	for _, bad := range [][]string{
+		{},
+		{"frobnicate"},
+		{"run", "--specs=no-such-spec"},
+		{"run", "--meter=teapot"},
+		{"run", "--threads=zero"},
+		{"run", "--placement=diagonal"},
+		{"run", "--reps=0"},
+		{"run", "--iter-scale=-1"},
+	} {
+		stdout.Reset()
+		stderr.Reset()
+		if err := run(context.Background(), bad, &stdout, &stderr); err == nil {
+			t.Errorf("run(%v): want error, got nil", bad)
+		}
+	}
+}
+
+func TestHelp(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(), []string{"help"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("energybench run")) {
+		t.Error("help output does not mention the run subcommand")
+	}
+}

@@ -1,0 +1,3 @@
+module energybench
+
+go 1.22

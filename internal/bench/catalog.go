@@ -1,0 +1,94 @@
+package bench
+
+import "fmt"
+
+// Working-set sizes targeting the cache hierarchy of typical x86 server
+// parts. They only need to land within the right level, not match a specific
+// SKU exactly: half of a 32 KiB L1D, half of a 512 KiB-to-1 MiB L2, a slice
+// of a multi-MiB L3, and a footprint no LLC will hold.
+const (
+	wsL1   = 16 << 10
+	wsL2   = 256 << 10
+	wsL3   = 4 << 20
+	wsDRAM = 32 << 20
+)
+
+// Catalog returns the built-in micro-benchmark specs, one (or more) per
+// microarchitectural component the paper characterizes. Iters are sized so a
+// single repetition takes on the order of tens of milliseconds on a modern
+// core; the harness scales them via its --iters flag.
+func Catalog() []Spec {
+	return []Spec{
+		{
+			Name:      "int-alu",
+			Component: CompIntALU,
+			Unroll:    4,
+			Iters:     4_000_000,
+			Desc:      "four independent integer multiply-add chains, no memory traffic",
+			Kernel:    KernelIntALU,
+		},
+		{
+			Name:      "fp-mac",
+			Component: CompFPU,
+			Unroll:    4,
+			Iters:     4_000_000,
+			Desc:      "four independent FP multiply-add chains, no memory traffic",
+			Kernel:    KernelFPU,
+		},
+		{
+			Name:       "chase-l1",
+			Component:  CompL1,
+			WorkingSet: wsL1,
+			Unroll:     4,
+			Iters:      4_000_000,
+			Desc:       "serialized pointer chase resident in L1D",
+			Kernel:     KernelChase,
+		},
+		{
+			Name:       "chase-l2",
+			Component:  CompL2,
+			WorkingSet: wsL2,
+			Unroll:     4,
+			Iters:      2_000_000,
+			Desc:       "serialized pointer chase resident in L2",
+			Kernel:     KernelChase,
+		},
+		{
+			Name:       "chase-l3",
+			Component:  CompL3,
+			WorkingSet: wsL3,
+			Unroll:     4,
+			Iters:      1_000_000,
+			Desc:       "serialized pointer chase resident in the LLC",
+			Kernel:     KernelChase,
+		},
+		{
+			Name:       "chase-dram",
+			Component:  CompDRAM,
+			WorkingSet: wsDRAM,
+			Unroll:     4,
+			Iters:      400_000,
+			Desc:       "serialized pointer chase missing all caches",
+			Kernel:     KernelChase,
+		},
+		{
+			Name:       "mixed-50",
+			Component:  CompMixed,
+			WorkingSet: wsL2,
+			Unroll:     1,
+			Iters:      2_000_000,
+			Desc:       "50/50 interleave of pointer-chase loads and integer ops",
+			Kernel:     KernelMixed,
+		},
+	}
+}
+
+// Lookup returns the catalog spec with the given name.
+func Lookup(name string) (Spec, error) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("bench: unknown spec %q", name)
+}

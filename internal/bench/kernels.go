@@ -1,0 +1,75 @@
+package bench
+
+// Sink receives kernel accumulators so the compiler cannot prove the measured
+// loops dead. Kernels accumulate into per-thread locals and publish once via
+// their return value, which the harness folds into Sink atomically; the value
+// itself is meaningless.
+var Sink uint64
+
+// KernelIntALU is a compute-bound integer kernel: four independent
+// multiply-add dependency chains (LCG steps) per unrolled iteration keep the
+// integer execution ports saturated without touching memory.
+func KernelIntALU(ws *Workspace, iters int) uint64 {
+	a := ws.acc
+	b := a ^ 0x9e3779b97f4a7c15
+	c := a + 0x6a09e667f3bcc909
+	d := a - 0xbb67ae8584caa73b
+	for i := 0; i < iters; i++ {
+		a = a*6364136223846793005 + 1442695040888963407
+		b = b*6364136223846793005 + 1442695040888963407
+		c = c*6364136223846793005 + 1442695040888963407
+		d = d*6364136223846793005 + 1442695040888963407
+	}
+	return a ^ b ^ c ^ d
+}
+
+// KernelFPU is a compute-bound floating-point kernel: four independent
+// multiply-add chains with factors chosen to stay finite for any realistic
+// iteration count.
+func KernelFPU(ws *Workspace, iters int) uint64 {
+	f := ws.fac
+	x, y, z, w := 1.0, 1.1, 1.2, 1.3
+	for i := 0; i < iters; i++ {
+		x = x*f + 1e-9
+		y = y*f + 1e-9
+		z = z*f + 1e-9
+		w = w*f + 1e-9
+		if x > 1e30 {
+			x, y, z, w = 1.0, 1.1, 1.2, 1.3
+		}
+	}
+	return uint64(x + y + z + w)
+}
+
+// KernelChase is the memory-bound kernel: a serialized pointer chase through
+// a random single-cycle permutation sized to the target cache level. Every
+// load depends on the previous one, so throughput is bounded by the average
+// access latency of the working set's home level (L1/L2/L3/DRAM).
+func KernelChase(ws *Workspace, iters int) uint64 {
+	p := ws.chase
+	i := ws.pos
+	for n := 0; n < iters; n += 4 {
+		i = p[i]
+		i = p[i]
+		i = p[i]
+		i = p[i]
+	}
+	ws.pos = i
+	return uint64(i)
+}
+
+// KernelMixed interleaves one pointer-chase load with a burst of integer
+// work, approximating a 50/50 compute/memory instruction mix. The chase
+// result feeds the integer chain so the two halves cannot be reordered apart.
+func KernelMixed(ws *Workspace, iters int) uint64 {
+	p := ws.chase
+	i := ws.pos
+	a := ws.acc
+	for n := 0; n < iters; n++ {
+		i = p[i]
+		a = (a+uint64(i))*6364136223846793005 + 1442695040888963407
+		a ^= a >> 29
+	}
+	ws.pos = i
+	return a
+}

@@ -1,0 +1,57 @@
+//go:build linux
+
+package harness
+
+import (
+	"fmt"
+	"syscall"
+	"unsafe"
+)
+
+// pinThread binds the calling OS thread to one logical CPU via
+// sched_setaffinity. Callers must hold runtime.LockOSThread for the pin to
+// stay meaningful. Best-effort: restricted environments (containers without
+// CAP_SYS_NICE over the full cpuset) surface the error to the caller, who
+// decides whether pinning is mandatory.
+func pinThread(cpu int) error {
+	if cpu < 0 || cpu >= 64*16 {
+		return fmt.Errorf("harness: cpu %d out of supported range", cpu)
+	}
+	var mask [16]uint64 // 1024 CPUs
+	mask[cpu/64] = 1 << (uint(cpu) % 64)
+	_, _, errno := syscall.RawSyscall(
+		syscall.SYS_SCHED_SETAFFINITY,
+		0, // current thread
+		uintptr(len(mask)*8),
+		uintptr(unsafe.Pointer(&mask[0])),
+	)
+	if errno != 0 {
+		return fmt.Errorf("harness: sched_setaffinity(cpu=%d): %w", cpu, errno)
+	}
+	return nil
+}
+
+// affinityCPUs returns the set of CPUs the process is allowed to run on
+// (cgroup cpusets, taskset), or nil when it cannot be determined.
+func affinityCPUs() map[int]bool {
+	var mask [16]uint64 // 1024 CPUs
+	_, _, errno := syscall.RawSyscall(
+		syscall.SYS_SCHED_GETAFFINITY,
+		0, // current process
+		uintptr(len(mask)*8),
+		uintptr(unsafe.Pointer(&mask[0])),
+	)
+	if errno != 0 {
+		return nil
+	}
+	allowed := make(map[int]bool)
+	for w, bits := range mask {
+		for b := 0; bits != 0; b++ {
+			if bits&1 != 0 {
+				allowed[w*64+b] = true
+			}
+			bits >>= 1
+		}
+	}
+	return allowed
+}

@@ -1,0 +1,248 @@
+// Package harness expands an exploration space (benchmark specs × thread
+// counts × placements), executes each configuration with warm-up and
+// repetitions, and aggregates energy/time/power/EDP with internal/stats.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"energybench/internal/bench"
+	"energybench/internal/meter"
+	"energybench/internal/stats"
+)
+
+// Space is the exploration space to sweep: the cartesian product of Specs,
+// ThreadCounts, and Placements, each run Warmup+Reps times.
+type Space struct {
+	Specs        []bench.Spec
+	ThreadCounts []int
+	Placements   []Placement
+	Reps         int // measured repetitions per configuration
+	Warmup       int // discarded warm-up repetitions per configuration
+	IterScale    float64
+	// MaxCV is the coefficient-of-variation threshold for outlier
+	// rejection over the energy samples; 0 disables rejection.
+	MaxCV float64
+}
+
+// Validate checks the space is runnable.
+func (s Space) Validate() error {
+	if len(s.Specs) == 0 {
+		return fmt.Errorf("harness: space has no specs")
+	}
+	for _, sp := range s.Specs {
+		if err := sp.Validate(); err != nil {
+			return err
+		}
+	}
+	if len(s.ThreadCounts) == 0 {
+		return fmt.Errorf("harness: space has no thread counts")
+	}
+	for _, t := range s.ThreadCounts {
+		if t <= 0 {
+			return fmt.Errorf("harness: non-positive thread count %d", t)
+		}
+	}
+	if len(s.Placements) == 0 {
+		return fmt.Errorf("harness: space has no placements")
+	}
+	if s.Reps <= 0 {
+		return fmt.Errorf("harness: reps must be positive, got %d", s.Reps)
+	}
+	if s.Warmup < 0 {
+		return fmt.Errorf("harness: warmup must be non-negative, got %d", s.Warmup)
+	}
+	return nil
+}
+
+// Sample is one measured repetition of one configuration.
+type Sample struct {
+	EnergyJ float64 `json:"energy_j"`
+	TimeS   float64 `json:"time_s"`
+	PowerW  float64 `json:"power_w"`
+}
+
+// Result aggregates all repetitions of one (spec, threads, placement)
+// configuration. EDP is the energy-delay product mean(E)·mean(T); EDDP
+// (energy·delay²) weights delay harder, as the paper's Pareto analyses do.
+type Result struct {
+	Spec      string          `json:"spec"`
+	Component bench.Component `json:"component"`
+	Threads   int             `json:"threads"`
+	Placement Placement       `json:"placement"`
+	Meter     string          `json:"meter"`
+	Iters     int             `json:"iters"`
+	Samples   []Sample        `json:"samples"`
+	EnergyJ   stats.Summary   `json:"energy_j_summary"`
+	TimeS     stats.Summary   `json:"time_s_summary"`
+	PowerW    stats.Summary   `json:"power_w_summary"`
+	EDP       float64         `json:"edp_js"`
+	EDDP      float64         `json:"eddp_js2"`
+}
+
+// Runner executes a Space against an EnergyMeter.
+type Runner struct {
+	Meter meter.EnergyMeter
+	// Log, when non-nil, receives one progress line per configuration.
+	Log func(format string, args ...any)
+}
+
+// Run sweeps the whole exploration space. Configurations run strictly
+// sequentially — concurrent configurations would share the package-level
+// energy counters and corrupt each other's deltas.
+func (r *Runner) Run(ctx context.Context, space Space) ([]Result, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if r.Meter == nil {
+		return nil, fmt.Errorf("harness: no meter configured")
+	}
+	var results []Result
+	for _, spec := range space.Specs {
+		for _, threads := range space.ThreadCounts {
+			for _, placement := range space.Placements {
+				if err := ctx.Err(); err != nil {
+					return results, err
+				}
+				res, err := r.runConfig(ctx, space, spec, threads, placement)
+				if err != nil {
+					return results, fmt.Errorf("harness: %s/t%d/%s: %w", spec.Name, threads, placement, err)
+				}
+				results = append(results, res)
+				if r.Log != nil {
+					r.Log("%-12s threads=%d placement=%-7s E=%.3fJ t=%.4fs P=%.2fW EDP=%.4f",
+						res.Spec, res.Threads, res.Placement,
+						res.EnergyJ.Mean, res.TimeS.Mean, res.PowerW.Mean, res.EDP)
+				}
+			}
+		}
+	}
+	return results, nil
+}
+
+func (r *Runner) runConfig(ctx context.Context, space Space, spec bench.Spec, threads int, placement Placement) (Result, error) {
+	iters := spec.Iters
+	if space.IterScale > 0 {
+		iters = int(float64(iters) * space.IterScale)
+		if iters < 1 {
+			iters = 1
+		}
+	}
+	// Per-thread workspaces, distinct seeds so chase cycles differ and
+	// threads never share buffers.
+	workspaces := make([]*bench.Workspace, threads)
+	for i := range workspaces {
+		workspaces[i] = bench.NewWorkspace(spec, uint64(i)*0x9e3779b9+12345)
+	}
+	cpus := cpuAssignment(placement, threads)
+
+	res := Result{
+		Spec:      spec.Name,
+		Component: spec.Component,
+		Threads:   threads,
+		Placement: placement,
+		Meter:     r.Meter.Name(),
+		Iters:     iters,
+	}
+	for rep := 0; rep < space.Warmup+space.Reps; rep++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		sample, err := r.runOnce(spec, workspaces, cpus, iters)
+		if err != nil {
+			return res, err
+		}
+		if rep >= space.Warmup {
+			res.Samples = append(res.Samples, sample)
+		}
+	}
+
+	energies := make([]float64, len(res.Samples))
+	times := make([]float64, len(res.Samples))
+	powers := make([]float64, len(res.Samples))
+	for i, s := range res.Samples {
+		energies[i], times[i], powers[i] = s.EnergyJ, s.TimeS, s.PowerW
+	}
+	if space.MaxCV > 0 {
+		res.EnergyJ = stats.SummarizeRobust(energies, space.MaxCV, 2)
+		res.TimeS = stats.SummarizeRobust(times, space.MaxCV, 2)
+		res.PowerW = stats.SummarizeRobust(powers, space.MaxCV, 2)
+	} else {
+		res.EnergyJ = stats.Summarize(energies)
+		res.TimeS = stats.Summarize(times)
+		res.PowerW = stats.Summarize(powers)
+	}
+	res.EDP = res.EnergyJ.Mean * res.TimeS.Mean
+	res.EDDP = res.EDP * res.TimeS.Mean
+	return res, nil
+}
+
+// runOnce executes one repetition: all threads start together behind a
+// barrier, the meter is read immediately around the parallel section, and
+// the sample is energy delta over wall time of the slowest thread.
+func (r *Runner) runOnce(spec bench.Spec, workspaces []*bench.Workspace, cpus []int, iters int) (Sample, error) {
+	threads := len(workspaces)
+	start := make(chan struct{})
+	abort := make(chan struct{})
+	var ready, done sync.WaitGroup
+	ready.Add(threads)
+	done.Add(threads)
+	var pinErr atomic.Value
+	var sink uint64
+
+	for t := 0; t < threads; t++ {
+		go func(t int) {
+			defer done.Done()
+			if cpus != nil {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+				if err := pinThread(cpus[t]); err != nil {
+					pinErr.Store(err)
+				}
+			}
+			ready.Done()
+			select {
+			case <-start:
+			case <-abort:
+				return
+			}
+			v := spec.Kernel(workspaces[t], iters)
+			atomic.AddUint64(&sink, v)
+		}(t)
+	}
+	ready.Wait()
+	before, err := r.Meter.Read()
+	if err != nil {
+		// Release the parked workers (which hold locked OS threads) before
+		// surfacing the error.
+		close(abort)
+		done.Wait()
+		return Sample{}, err
+	}
+	t0 := time.Now()
+	close(start)
+	done.Wait()
+	elapsed := time.Since(t0).Seconds()
+	after, err := r.Meter.Read()
+	if err != nil {
+		return Sample{}, err
+	}
+	atomic.AddUint64(&bench.Sink, sink)
+	if e := pinErr.Load(); e != nil {
+		return Sample{}, e.(error)
+	}
+	energy, err := meter.Delta(r.Meter, before, after)
+	if err != nil {
+		return Sample{}, err
+	}
+	s := Sample{EnergyJ: energy, TimeS: elapsed}
+	if elapsed > 0 {
+		s.PowerW = energy / elapsed
+	}
+	return s, nil
+}

@@ -1,0 +1,266 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"energybench/internal/bench"
+	"energybench/internal/meter"
+)
+
+func tinySpace(t *testing.T) Space {
+	t.Helper()
+	specs := []bench.Spec{
+		{Name: "tiny-int", Component: bench.CompIntALU, Iters: 2000, Kernel: bench.KernelIntALU},
+		{Name: "tiny-chase", Component: bench.CompL1, WorkingSet: 4096, Iters: 2000, Kernel: bench.KernelChase},
+	}
+	return Space{
+		Specs:        specs,
+		ThreadCounts: []int{1, 2},
+		Placements:   []Placement{PlaceNone},
+		Reps:         3,
+		Warmup:       1,
+	}
+}
+
+func TestRunnerSweepsFullSpace(t *testing.T) {
+	r := &Runner{Meter: meter.NewMock(42)}
+	results, err := r.Run(context.Background(), tinySpace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 { // 2 specs × 2 thread counts × 1 placement
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for _, res := range results {
+		if len(res.Samples) != 3 {
+			t.Errorf("%s/t%d: %d samples, want 3 (warmup must be discarded)", res.Spec, res.Threads, len(res.Samples))
+		}
+		if res.TimeS.Mean <= 0 {
+			t.Errorf("%s/t%d: non-positive mean time %v", res.Spec, res.Threads, res.TimeS.Mean)
+		}
+		if res.EnergyJ.Mean < 0 {
+			t.Errorf("%s/t%d: negative mean energy %v", res.Spec, res.Threads, res.EnergyJ.Mean)
+		}
+		if res.EDP != res.EnergyJ.Mean*res.TimeS.Mean {
+			t.Errorf("%s/t%d: EDP %v != mean(E)·mean(T) %v", res.Spec, res.Threads, res.EDP, res.EnergyJ.Mean*res.TimeS.Mean)
+		}
+		if res.Meter != "mock" {
+			t.Errorf("%s/t%d: meter = %q, want mock", res.Spec, res.Threads, res.Meter)
+		}
+	}
+}
+
+func TestRunnerContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &Runner{Meter: meter.NewMock(42)}
+	if _, err := r.Run(ctx, tinySpace(t)); err == nil {
+		t.Error("want context error from cancelled run, got nil")
+	}
+}
+
+func TestSpaceValidate(t *testing.T) {
+	good := tinySpace(t)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid space rejected: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*Space)
+	}{
+		{"no-specs", func(s *Space) { s.Specs = nil }},
+		{"no-threads", func(s *Space) { s.ThreadCounts = nil }},
+		{"zero-threads", func(s *Space) { s.ThreadCounts = []int{0} }},
+		{"no-placements", func(s *Space) { s.Placements = nil }},
+		{"zero-reps", func(s *Space) { s.Reps = 0 }},
+		{"negative-warmup", func(s *Space) { s.Warmup = -1 }},
+		{"invalid-spec", func(s *Space) { s.Specs = []bench.Spec{{Name: "broken"}} }},
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tinySpace(t)
+			tc.mut(&s)
+			if err := s.Validate(); err == nil {
+				t.Error("invalid space accepted")
+			}
+		})
+	}
+}
+
+func TestRunnerIterScale(t *testing.T) {
+	space := tinySpace(t)
+	space.Specs = space.Specs[:1]
+	space.ThreadCounts = []int{1}
+	space.IterScale = 0.5
+	r := &Runner{Meter: meter.NewMock(42)}
+	results, err := r.Run(context.Background(), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Iters != 1000 {
+		t.Errorf("Iters = %d, want 1000 after 0.5 scale of 2000", results[0].Iters)
+	}
+}
+
+// failingMeter errors on every Read, exercising the harness error path.
+type failingMeter struct{}
+
+func (failingMeter) Name() string            { return "failing" }
+func (failingMeter) Domains() []meter.Domain { return []meter.Domain{{Name: "d"}} }
+func (failingMeter) Read() (meter.Reading, error) {
+	return meter.Reading{}, errors.New("meter read failed")
+}
+
+// TestRunnerMeterFailureReleasesWorkers is a regression test: a meter read
+// error must surface as an error AND unpark the worker goroutines (which
+// hold locked OS threads) rather than leaking them on the start barrier.
+func TestRunnerMeterFailureReleasesWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	space := tinySpace(t)
+	space.ThreadCounts = []int{4}
+	r := &Runner{Meter: failingMeter{}}
+	if _, err := r.Run(context.Background(), space); err == nil {
+		t.Fatal("want error from failing meter, got nil")
+	}
+	// Workers exit asynchronously after done.Wait; give the scheduler a
+	// few chances before declaring a leak.
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestParsePlacement(t *testing.T) {
+	for _, ok := range []string{"none", "compact", "scatter"} {
+		if _, err := ParsePlacement(ok); err != nil {
+			t.Errorf("ParsePlacement(%q) = %v", ok, err)
+		}
+	}
+	if _, err := ParsePlacement("diagonal"); err == nil {
+		t.Error("want error for unknown placement")
+	}
+}
+
+func TestParseCPUList(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"0-3", []int{0, 1, 2, 3}, false},
+		{"0,2,4", []int{0, 2, 4}, false},
+		{"0-1,8,10-11", []int{0, 1, 8, 10, 11}, false},
+		{"7", []int{7}, false},
+		{"3-1", nil, true},
+		{"x", nil, true},
+	}
+	for _, tc := range tests {
+		got, err := parseCPUList(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseCPUList(%q): want error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseCPUList(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseCPUList(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestCPUAssignmentPolicies(t *testing.T) {
+	if got := cpuAssignment(PlaceNone, 4); got != nil {
+		t.Errorf("PlaceNone assignment = %v, want nil", got)
+	}
+	for _, p := range []Placement{PlaceCompact, PlaceScatter} {
+		got := cpuAssignment(p, 3)
+		if len(got) != 3 {
+			t.Errorf("%s: assignment length = %d, want 3", p, len(got))
+		}
+		for _, cpu := range got {
+			if cpu < 0 {
+				t.Errorf("%s: negative CPU id %d", p, cpu)
+			}
+		}
+	}
+}
+
+// TestSysfsCoreGroupsRespectsOnlineList checks topology discovery walks the
+// sysfs online CPU list (which can be sparse under cpusets) rather than
+// assuming dense ids, and degrades to nil on malformed trees.
+func TestSysfsCoreGroupsRespectsOnlineList(t *testing.T) {
+	root := t.TempDir()
+	writeFile := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// CPU 0 online and always in the affinity mask; its core has only
+	// itself as sibling.
+	writeFile("online", "0\n")
+	writeFile("cpu0/topology/thread_siblings_list", "0\n")
+	groups := sysfsCoreGroups(root)
+	if !reflect.DeepEqual(groups, [][]int{{0}}) {
+		t.Errorf("groups = %v, want [[0]]", groups)
+	}
+
+	// Missing topology file for a listed CPU → give up (nil), triggering
+	// the dense fallback in coreGroups.
+	bare := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bare, "online"), []byte("0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := sysfsCoreGroups(bare); got != nil {
+		t.Errorf("groups = %v, want nil for incomplete topology", got)
+	}
+}
+
+func TestOnlineCPUsFallsBackWithoutOnlineFile(t *testing.T) {
+	cpus := onlineCPUs(t.TempDir())
+	if len(cpus) != runtime.NumCPU() {
+		t.Fatalf("got %d cpus, want %d", len(cpus), runtime.NumCPU())
+	}
+	for i, c := range cpus {
+		if c != i {
+			t.Errorf("cpus[%d] = %d, want dense ids", i, c)
+		}
+	}
+}
+
+// TestCPUAssignmentWithSyntheticTopology checks that compact fills SMT
+// siblings first while scatter spreads across physical cores, using a fake
+// 2-core/4-thread topology (cores {0,2} and {1,3}).
+func TestCPUAssignmentWithSyntheticTopology(t *testing.T) {
+	cores := [][]int{{0, 2}, {1, 3}}
+	compact := assignFromGroups(PlaceCompact, 4, cores)
+	if !reflect.DeepEqual(compact, []int{0, 2, 1, 3}) {
+		t.Errorf("compact = %v, want [0 2 1 3]", compact)
+	}
+	scatter := assignFromGroups(PlaceScatter, 4, cores)
+	if !reflect.DeepEqual(scatter, []int{0, 1, 2, 3}) {
+		t.Errorf("scatter = %v, want [0 1 2 3]", scatter)
+	}
+	wrap := assignFromGroups(PlaceScatter, 5, cores)
+	if wrap[4] != 0 {
+		t.Errorf("assignment must wrap around: got %v", wrap)
+	}
+}

@@ -1,0 +1,64 @@
+// Package meter abstracts energy measurement behind the EnergyMeter
+// interface. Two backends ship today: a Linux RAPL sysfs reader for real
+// hardware and a deterministic mock so tests and CI run everywhere.
+package meter
+
+import (
+	"fmt"
+	"time"
+)
+
+// Domain describes one energy-counting domain (e.g. one RAPL package).
+// MaxRangeMicroJ is the counter's wrap modulus in microjoules; 0 means the
+// counter never wraps.
+type Domain struct {
+	Name           string `json:"name"`
+	MaxRangeMicroJ uint64 `json:"max_range_uj"`
+}
+
+// Reading is a snapshot of every domain's cumulative energy counter.
+// Counters[i] corresponds to Domains()[i] of the meter that produced it.
+type Reading struct {
+	At       time.Time
+	Counters []uint64 // cumulative microjoules per domain
+}
+
+// EnergyMeter reads cumulative energy counters. Implementations must return
+// domains in a stable order so two Readings can be subtracted element-wise.
+type EnergyMeter interface {
+	// Name identifies the backend ("rapl", "mock").
+	Name() string
+	// Domains lists the counting domains in the order Read reports them.
+	Domains() []Domain
+	// Read snapshots all domain counters.
+	Read() (Reading, error)
+}
+
+// Delta returns the energy in joules consumed between two readings of the
+// same meter, summing all domains and unwrapping counters that rolled over
+// at most once between the snapshots.
+func Delta(m EnergyMeter, start, end Reading) (float64, error) {
+	doms := m.Domains()
+	if len(start.Counters) != len(doms) || len(end.Counters) != len(doms) {
+		return 0, fmt.Errorf("meter %s: reading has %d/%d counters, want %d",
+			m.Name(), len(start.Counters), len(end.Counters), len(doms))
+	}
+	var totalMicroJ float64
+	for i, d := range doms {
+		s, e := start.Counters[i], end.Counters[i]
+		var delta uint64
+		switch {
+		case e >= s:
+			delta = e - s
+		case d.MaxRangeMicroJ > 0:
+			// Counter wrapped: it counted from s up to the max range, then
+			// from zero up to e.
+			delta = (d.MaxRangeMicroJ - s) + e
+		default:
+			return 0, fmt.Errorf("meter %s: domain %s counter went backwards (%d -> %d) with no wrap range",
+				m.Name(), d.Name, s, e)
+		}
+		totalMicroJ += float64(delta)
+	}
+	return totalMicroJ / 1e6, nil
+}

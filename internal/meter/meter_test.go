@@ -1,0 +1,207 @@
+package meter
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic mock readings.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestMockAccumulatesPowerOverTime(t *testing.T) {
+	clk := newFakeClock()
+	m := NewMockWithClock(50, 0, clk.now) // 50 W, no wrap
+
+	r0, err := m.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(2 * time.Second)
+	r1, err := m.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := Delta(m, r0, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(j-100) > 1e-6 { // 50 W × 2 s
+		t.Errorf("Delta = %v J, want 100", j)
+	}
+}
+
+func TestMockDomainsStable(t *testing.T) {
+	m := NewMock(42)
+	d1, d2 := m.Domains(), m.Domains()
+	if len(d1) != 1 || len(d2) != 1 || d1[0] != d2[0] {
+		t.Errorf("Domains not stable: %v vs %v", d1, d2)
+	}
+	if d1[0].MaxRangeMicroJ == 0 {
+		t.Error("default mock should have a non-zero wrap range")
+	}
+}
+
+func TestDeltaWraparound(t *testing.T) {
+	// 100 W with a 150 µJ counter range: the counter wraps every 1.5 µs of
+	// modeled time, so a 2 µs window must unwrap exactly once.
+	clk := newFakeClock()
+	m := NewMockWithClock(100, 150, clk.now)
+
+	clk.advance(1 * time.Microsecond) // counter at 100 µJ
+	r0, _ := m.Read()
+	clk.advance(1 * time.Microsecond) // raw 200 µJ → wraps to 50 µJ
+	r1, _ := m.Read()
+	if r1.Counters[0] >= r0.Counters[0] {
+		t.Fatalf("test setup broken: counter did not wrap (%d -> %d)", r0.Counters[0], r1.Counters[0])
+	}
+	j, err := Delta(m, r0, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (150-100) + 50 = 100 µJ = 1e-4 J
+	if math.Abs(j-1e-4) > 1e-12 {
+		t.Errorf("wrapped Delta = %v J, want 1e-4", j)
+	}
+}
+
+func TestDeltaWraparoundArithmetic(t *testing.T) {
+	tests := []struct {
+		name     string
+		maxRange uint64
+		start    uint64
+		end      uint64
+		wantJ    float64
+		wantErr  bool
+	}{
+		{"forward", 1000, 100, 700, 600e-6, false},
+		{"no-movement", 1000, 500, 500, 0, false},
+		{"wrap", 1000, 900, 100, 200e-6, false},
+		{"wrap-to-zero", 1000, 999, 0, 1e-6, false},
+		{"backwards-no-range", 0, 900, 100, 0, true},
+		{"full-range-consumed", 1000, 0, 0, 0, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			m := &Mock{PowerWatts: 1, MaxRangeMicroJ: tc.maxRange}
+			r0 := Reading{Counters: []uint64{tc.start}}
+			r1 := Reading{Counters: []uint64{tc.end}}
+			j, err := Delta(m, r0, r1)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("want error, got nil")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(j-tc.wantJ) > 1e-15 {
+				t.Errorf("Delta(%d -> %d, range %d) = %v J, want %v",
+					tc.start, tc.end, tc.maxRange, j, tc.wantJ)
+			}
+		})
+	}
+}
+
+func TestDeltaCounterCountMismatch(t *testing.T) {
+	m := NewMock(1)
+	good, _ := m.Read()
+	bad := Reading{Counters: []uint64{1, 2}}
+	if _, err := Delta(m, good, bad); err == nil {
+		t.Error("want error for mismatched counter count, got nil")
+	}
+}
+
+// writeRAPLDomain lays out one powercap domain directory in a fake sysfs.
+func writeRAPLDomain(t *testing.T, root, dir, name string, energy, maxRange uint64) {
+	t.Helper()
+	d := filepath.Join(root, dir)
+	if err := os.MkdirAll(d, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		"name":                name + "\n",
+		"energy_uj":           strconv.FormatUint(energy, 10) + "\n",
+		"max_energy_range_uj": strconv.FormatUint(maxRange, 10) + "\n",
+	}
+	for f, content := range files {
+		if err := os.WriteFile(filepath.Join(d, f), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRAPLDiscoversPackagesSkipsSubdomains(t *testing.T) {
+	root := t.TempDir()
+	writeRAPLDomain(t, root, "intel-rapl:0", "package-0", 1_000_000, 262_143_328_850)
+	writeRAPLDomain(t, root, "intel-rapl:1", "package-1", 2_000_000, 262_143_328_850)
+	writeRAPLDomain(t, root, "intel-rapl:0:0", "core", 500_000, 65_712_999_613) // must be skipped
+	if err := os.MkdirAll(filepath.Join(root, "dtpm"), 0o755); err != nil {     // unrelated powercap entry
+		t.Fatal(err)
+	}
+
+	r, err := NewRAPL(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doms := r.Domains()
+	if len(doms) != 2 {
+		t.Fatalf("got %d domains (%v), want 2 packages", len(doms), doms)
+	}
+	if doms[0].Name != "package-0" || doms[1].Name != "package-1" {
+		t.Errorf("domain names = %q, %q", doms[0].Name, doms[1].Name)
+	}
+	rd, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Counters[0] != 1_000_000 || rd.Counters[1] != 2_000_000 {
+		t.Errorf("counters = %v, want [1000000 2000000]", rd.Counters)
+	}
+}
+
+func TestRAPLDeltaAcrossRewrittenCounters(t *testing.T) {
+	root := t.TempDir()
+	writeRAPLDomain(t, root, "intel-rapl:0", "package-0", 1_000_000, 10_000_000)
+	r, err := NewRAPL(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the hardware counter advancing past the wrap point.
+	writeRAPLDomain(t, root, "intel-rapl:0", "package-0", 500_000, 10_000_000)
+	r1, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := Delta(r, r0, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (10_000_000 - 1_000_000) + 500_000 = 9_500_000 µJ = 9.5 J
+	if math.Abs(j-9.5) > 1e-9 {
+		t.Errorf("Delta = %v J, want 9.5", j)
+	}
+}
+
+func TestRAPLNoDomains(t *testing.T) {
+	if _, err := NewRAPL(t.TempDir()); err == nil {
+		t.Error("want error for empty powercap root, got nil")
+	}
+	if _, err := NewRAPL(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("want error for missing powercap root, got nil")
+	}
+}

@@ -1,0 +1,56 @@
+package meter
+
+import (
+	"sync"
+	"time"
+)
+
+// Mock is a deterministic EnergyMeter for tests and CI machines without RAPL
+// access. It models a single domain drawing a constant PowerWatts, so energy
+// is exactly power × elapsed time. The clock is injectable for fully
+// deterministic tests, and MaxRangeMicroJ can be set low to exercise the
+// wraparound path in Delta.
+type Mock struct {
+	PowerWatts     float64
+	MaxRangeMicroJ uint64
+
+	mu    sync.Mutex
+	now   func() time.Time
+	epoch time.Time
+}
+
+// NewMock returns a mock meter drawing powerWatts with a realistic 32-bit-ish
+// counter range (matching RAPL's ~262 kJ package range).
+func NewMock(powerWatts float64) *Mock {
+	return &Mock{PowerWatts: powerWatts, MaxRangeMicroJ: 262_143_328_850, now: time.Now}
+}
+
+// NewMockWithClock returns a mock meter driven by an explicit clock, for
+// deterministic tests (including counter-wraparound tests via a small
+// maxRange).
+func NewMockWithClock(powerWatts float64, maxRangeMicroJ uint64, clock func() time.Time) *Mock {
+	m := &Mock{PowerWatts: powerWatts, MaxRangeMicroJ: maxRangeMicroJ, now: clock}
+	m.epoch = clock()
+	return m
+}
+
+func (m *Mock) Name() string { return "mock" }
+
+func (m *Mock) Domains() []Domain {
+	return []Domain{{Name: "mock-package-0", MaxRangeMicroJ: m.MaxRangeMicroJ}}
+}
+
+func (m *Mock) Read() (Reading, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.now()
+	if m.epoch.IsZero() {
+		m.epoch = t
+	}
+	elapsed := t.Sub(m.epoch).Seconds()
+	microJ := uint64(elapsed * m.PowerWatts * 1e6)
+	if m.MaxRangeMicroJ > 0 {
+		microJ %= m.MaxRangeMicroJ
+	}
+	return Reading{At: t, Counters: []uint64{microJ}}, nil
+}

@@ -1,0 +1,98 @@
+package meter
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DefaultPowercapRoot is the Linux powercap sysfs mount point.
+const DefaultPowercapRoot = "/sys/class/powercap"
+
+// RAPL reads Intel RAPL package-level energy counters from the powercap
+// sysfs tree. Reading energy_uj requires root or read permission on the
+// powercap files (kernels ≥5.10 restrict it to root by default).
+type RAPL struct {
+	root    string
+	domains []Domain
+	paths   []string // energy_uj file per domain, parallel to domains
+}
+
+// NewRAPL discovers top-level RAPL package domains under root (pass
+// DefaultPowercapRoot on real systems; tests point it at a fake tree).
+// Subdomains such as intel-rapl:0:0 (core/uncore/dram) are skipped: package
+// counters already include them, and summing both would double-count.
+func NewRAPL(root string) (*RAPL, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("rapl: reading %s: %w", root, err)
+	}
+	r := &RAPL{root: root}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		// Top-level packages look like "intel-rapl:0"; subdomains have a
+		// second colon ("intel-rapl:0:0").
+		if !strings.HasPrefix(n, "intel-rapl:") || strings.Count(n, ":") != 1 {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		dir := filepath.Join(root, n)
+		label, err := os.ReadFile(filepath.Join(dir, "name"))
+		if err != nil {
+			return nil, fmt.Errorf("rapl: %s has no name file: %w", n, err)
+		}
+		maxRange, err := readCounterFile(filepath.Join(dir, "max_energy_range_uj"))
+		if err != nil {
+			return nil, fmt.Errorf("rapl: %s: %w", n, err)
+		}
+		energyPath := filepath.Join(dir, "energy_uj")
+		if _, err := readCounterFile(energyPath); err != nil {
+			return nil, fmt.Errorf("rapl: %s unreadable (need root or powercap read permission): %w", energyPath, err)
+		}
+		r.domains = append(r.domains, Domain{
+			Name:           string(bytes.TrimSpace(label)),
+			MaxRangeMicroJ: maxRange,
+		})
+		r.paths = append(r.paths, energyPath)
+	}
+	if len(r.domains) == 0 {
+		return nil, fmt.Errorf("rapl: no intel-rapl package domains under %s", root)
+	}
+	return r, nil
+}
+
+func (r *RAPL) Name() string      { return "rapl" }
+func (r *RAPL) Domains() []Domain { return r.domains }
+
+func (r *RAPL) Read() (Reading, error) {
+	rd := Reading{At: time.Now(), Counters: make([]uint64, len(r.paths))}
+	for i, p := range r.paths {
+		v, err := readCounterFile(p)
+		if err != nil {
+			return Reading{}, err
+		}
+		rd.Counters[i] = v
+	}
+	return rd, nil
+}
+
+func readCounterFile(path string) (uint64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return v, nil
+}

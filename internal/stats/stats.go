@@ -1,0 +1,124 @@
+// Package stats aggregates repeated measurements: mean, median, standard
+// deviation, coefficient of variation, and CV-driven outlier rejection in
+// the style of the MICRO 2012 characterization methodology (repeat until the
+// sample set is stable, discard perturbed runs).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary describes a sample set after (optional) outlier rejection.
+type Summary struct {
+	N        int     `json:"n"`
+	Rejected int     `json:"rejected,omitempty"`
+	Mean     float64 `json:"mean"`
+	Median   float64 `json:"median"`
+	StdDev   float64 `json:"stddev"`
+	CV       float64 `json:"cv"` // StdDev / Mean, 0 if Mean is 0
+	Min      float64 `json:"min"`
+	Max      float64 `json:"max"`
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the median, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or 0 for
+// fewer than two samples.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// CV returns the coefficient of variation (StdDev/Mean), or 0 when the mean
+// is 0.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// RejectOutliers iteratively removes the sample farthest from the mean while
+// the set's CV exceeds maxCV, keeping at least minKeep samples. It returns
+// the surviving samples (in original order) and the number rejected. This
+// discards repetitions perturbed by OS noise (interrupts, migrations)
+// without assuming a distribution.
+func RejectOutliers(xs []float64, maxCV float64, minKeep int) (kept []float64, rejected int) {
+	if minKeep < 2 {
+		minKeep = 2
+	}
+	kept = append([]float64(nil), xs...)
+	for len(kept) > minKeep && CV(kept) > maxCV {
+		m := Mean(kept)
+		worst, dist := 0, -1.0
+		for i, x := range kept {
+			if d := math.Abs(x - m); d > dist {
+				worst, dist = i, d
+			}
+		}
+		kept = append(kept[:worst], kept[worst+1:]...)
+		rejected++
+	}
+	return kept, rejected
+}
+
+// Summarize aggregates xs without outlier rejection.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Mean: Mean(xs), Median: Median(xs), StdDev: StdDev(xs)}
+	if s.Mean != 0 {
+		s.CV = s.StdDev / s.Mean
+	}
+	if len(xs) > 0 {
+		s.Min, s.Max = xs[0], xs[0]
+		for _, x := range xs[1:] {
+			s.Min = math.Min(s.Min, x)
+			s.Max = math.Max(s.Max, x)
+		}
+	}
+	return s
+}
+
+// SummarizeRobust rejects outliers (CV threshold maxCV, keeping at least
+// minKeep samples) and then summarizes the survivors, recording how many
+// samples were dropped.
+func SummarizeRobust(xs []float64, maxCV float64, minKeep int) Summary {
+	kept, rejected := RejectOutliers(xs, maxCV, minKeep)
+	s := Summarize(kept)
+	s.Rejected = rejected
+	return s
+}

@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"uniform", []float64{2, 2, 2}, 2},
+		{"mixed", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-1, 1}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Mean(tc.in); !almostEq(got, tc.want) {
+				t.Errorf("Mean(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{7}, 7},
+		{"odd", []float64{3, 1, 2}, 2},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+		{"unsorted-dups", []float64{5, 1, 5, 1}, 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Median(tc.in); !almostEq(got, tc.want) {
+				t.Errorf("Median(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMedianDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3}, 0},
+		{"uniform", []float64{4, 4, 4}, 0},
+		{"known", []float64{2, 4, 4, 4, 5, 5, 7, 9}, 2.138089935299395}, // sample stddev
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := StdDev(tc.in); !almostEq(got, tc.want) {
+				t.Errorf("StdDev(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCV(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"zero-mean", []float64{-1, 1}, 0},
+		{"uniform", []float64{5, 5}, 0},
+		{"known", []float64{2, 4, 4, 4, 5, 5, 7, 9}, 2.138089935299395 / 5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := CV(tc.in); !almostEq(got, tc.want) {
+				t.Errorf("CV(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRejectOutliers(t *testing.T) {
+	tests := []struct {
+		name         string
+		in           []float64
+		maxCV        float64
+		minKeep      int
+		wantKept     []float64
+		wantRejected int
+	}{
+		{
+			name:         "no-rejection-needed",
+			in:           []float64{10, 10.1, 9.9},
+			maxCV:        0.05,
+			minKeep:      2,
+			wantKept:     []float64{10, 10.1, 9.9},
+			wantRejected: 0,
+		},
+		{
+			name:         "single-spike-removed",
+			in:           []float64{10, 10.2, 9.8, 100},
+			maxCV:        0.05,
+			minKeep:      2,
+			wantKept:     []float64{10, 10.2, 9.8},
+			wantRejected: 1,
+		},
+		{
+			name:         "min-keep-floor",
+			in:           []float64{1, 100, 10000},
+			maxCV:        0.001,
+			minKeep:      2,
+			wantKept:     []float64{1, 100},
+			wantRejected: 1,
+		},
+		{
+			name:         "preserves-order",
+			in:           []float64{9.9, 50, 10.1, 10},
+			maxCV:        0.05,
+			minKeep:      2,
+			wantKept:     []float64{9.9, 10.1, 10},
+			wantRejected: 1,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			kept, rejected := RejectOutliers(tc.in, tc.maxCV, tc.minKeep)
+			if rejected != tc.wantRejected {
+				t.Errorf("rejected = %d, want %d", rejected, tc.wantRejected)
+			}
+			if len(kept) != len(tc.wantKept) {
+				t.Fatalf("kept = %v, want %v", kept, tc.wantKept)
+			}
+			for i := range kept {
+				if !almostEq(kept[i], tc.wantKept[i]) {
+					t.Errorf("kept[%d] = %v, want %v", i, kept[i], tc.wantKept[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 {
+		t.Errorf("N = %d, want 4", s.N)
+	}
+	if !almostEq(s.Mean, 2.5) || !almostEq(s.Median, 2.5) {
+		t.Errorf("Mean/Median = %v/%v, want 2.5/2.5", s.Mean, s.Median)
+	}
+	if !almostEq(s.Min, 1) || !almostEq(s.Max, 4) {
+		t.Errorf("Min/Max = %v/%v, want 1/4", s.Min, s.Max)
+	}
+	if !almostEq(s.CV, s.StdDev/s.Mean) {
+		t.Errorf("CV = %v, want StdDev/Mean = %v", s.CV, s.StdDev/s.Mean)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 || empty.Min != 0 || empty.Max != 0 {
+		t.Errorf("Summarize(nil) = %+v, want zero value", empty)
+	}
+}
+
+func TestSummarizeRobust(t *testing.T) {
+	s := SummarizeRobust([]float64{10, 10.2, 9.8, 100}, 0.05, 2)
+	if s.Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", s.Rejected)
+	}
+	if s.N != 3 {
+		t.Errorf("N = %d, want 3", s.N)
+	}
+	if s.Max > 11 {
+		t.Errorf("Max = %v, outlier survived", s.Max)
+	}
+}
