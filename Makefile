@@ -1,10 +1,10 @@
 # Targets mirror .github/workflows/ci.yml so local runs and CI stay in sync.
 
 GO ?= go
-COVER_PKGS := ./internal/stats/... ./internal/meter/...
+COVER_PKGS := ./internal/stats/... ./internal/meter/... ./internal/model/... ./internal/store/...
 COVER_FLOOR := 70
 
-.PHONY: all build test lint cover clean
+.PHONY: all build test lint cover fuzz clean
 
 all: lint build test
 
@@ -27,6 +27,9 @@ cover:
 	echo "total coverage: $$pct%"; \
 	awk -v p="$$pct" -v floor="$(COVER_FLOOR)" 'BEGIN { exit !(p + 0 >= floor) }' || { \
 		echo "coverage $$pct% is below the $(COVER_FLOOR)% floor" >&2; exit 1; }
+
+fuzz:
+	$(GO) test -fuzz=Fuzz -fuzztime=10s ./internal/bench
 
 clean:
 	rm -rf bin cover.out

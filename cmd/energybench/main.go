@@ -1,14 +1,19 @@
 // Command energybench sweeps a micro-benchmark exploration space
-// (kernels × thread counts × placements), measures energy per configuration,
-// and emits JSON results.
+// (kernels × thread counts × placements, solo or co-run pairs), measures
+// energy per configuration, persists results to a JSONL store, and derives
+// the paper's analyses: a fitted linear power model and co-run interference.
 //
 //	energybench list
-//	energybench run --meter=mock --reps=3 --threads=1,2 --placement=none
+//	energybench run --meter=mock --reps=3 --threads=1,2 --store=results.jsonl
+//	energybench store --db=results.jsonl
+//	energybench analyze --db=results.jsonl
+//	energybench compare --db=results.jsonl
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +26,8 @@ import (
 	"energybench/internal/bench"
 	"energybench/internal/harness"
 	"energybench/internal/meter"
+	"energybench/internal/model"
+	"energybench/internal/store"
 )
 
 func main() {
@@ -42,6 +49,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return cmdList(stdout)
 	case "run":
 		return cmdRun(ctx, args[1:], stdout, stderr)
+	case "store":
+		return cmdStore(args[1:], stdout, stderr)
+	case "analyze":
+		return cmdAnalyze(args[1:], stdout, stderr)
+	case "compare":
+		return cmdCompare(args[1:], stdout, stderr)
 	case "-h", "--help", "help":
 		usage(stdout)
 		return nil
@@ -55,24 +68,38 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
   energybench list                 print the benchmark catalog as JSON
   energybench run [flags]          sweep the exploration space, print JSON results
+  energybench store [flags]        append results to / inspect a JSONL result store
+  energybench analyze [flags]      fit the linear power model over a store
+  energybench compare [flags]      report co-run interference vs solo baselines
 
 run flags:
   --meter=mock|rapl   energy backend (default mock; rapl needs /sys/class/powercap read access)
   --mock-watts=N      constant power the mock meter models (default 42)
   --specs=a,b         comma-separated spec names (default: full catalog)
+  --corun=a+b,c+d     co-run pairs: each runs both specs concurrently,
+                      --threads counts threads per spec
   --threads=1,2       comma-separated thread counts (default 1,2)
   --placement=p,q     comma-separated placements: none|compact|scatter (default none)
   --reps=N            measured repetitions per configuration (default 3)
   --warmup=N          discarded warm-up repetitions (default 1)
   --iter-scale=F      scale every spec's default iteration count (default 1.0)
   --max-cv=F          CV threshold for outlier rejection, 0 disables (default 0.2)
-  --progress          log one line per configuration to stderr`)
+  --store=PATH        also append results to the JSONL store at PATH
+  --progress          log one line per configuration to stderr
+
+store flags:
+  --db=PATH           store file (required)
+  --add=FILE          append results from a 'run' JSON file ('-' for stdin)
+  --compact           rewrite the store deduplicated
+  --specs, --threads, --placement   filter listed records
+
+analyze / compare flags:
+  --db=PATH           store file (required)
+  --specs, --threads, --placement   filter the results used`)
 }
 
 func cmdList(stdout io.Writer) error {
-	enc := json.NewEncoder(stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(bench.Catalog())
+	return writeJSON(stdout, bench.Catalog())
 }
 
 func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error {
@@ -82,12 +109,14 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		meterName = fs.String("meter", "mock", "energy backend: mock|rapl")
 		mockWatts = fs.Float64("mock-watts", 42, "constant power modeled by the mock meter")
 		specsFlag = fs.String("specs", "", "comma-separated spec names (default: full catalog)")
+		corunFlag = fs.String("corun", "", "comma-separated co-run pairs, each 'specA+specB'")
 		threads   = fs.String("threads", "1,2", "comma-separated thread counts")
 		placement = fs.String("placement", "none", "comma-separated placements: none|compact|scatter")
 		reps      = fs.Int("reps", 3, "measured repetitions per configuration")
 		warmup    = fs.Int("warmup", 1, "discarded warm-up repetitions")
 		iterScale = fs.Float64("iter-scale", 1.0, "scale factor applied to every spec's iteration count")
 		maxCV     = fs.Float64("max-cv", 0.2, "CV threshold for outlier rejection (0 disables)")
+		storePath = fs.String("store", "", "append results to the JSONL store at this path")
 		progress  = fs.Bool("progress", false, "log one line per configuration to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -104,7 +133,7 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		MaxCV:     *maxCV,
 	}
 
-	if *specsFlag == "" {
+	if *specsFlag == "" && *corunFlag == "" {
 		space.Specs = bench.Catalog()
 	} else {
 		for _, name := range splitNonEmpty(*specsFlag) {
@@ -114,6 +143,21 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 			}
 			space.Specs = append(space.Specs, s)
 		}
+	}
+	for _, pair := range splitNonEmpty(*corunFlag) {
+		nameA, nameB, ok := strings.Cut(pair, "+")
+		if !ok {
+			return fmt.Errorf("--corun: pair %q is not of the form specA+specB", pair)
+		}
+		a, err := bench.Lookup(strings.TrimSpace(nameA))
+		if err != nil {
+			return err
+		}
+		b, err := bench.Lookup(strings.TrimSpace(nameB))
+		if err != nil {
+			return err
+		}
+		space.Pairs = append(space.Pairs, harness.Pair{A: a, B: b})
 	}
 	var err error
 	if space.ThreadCounts, err = parseIntList(*threads); err != nil {
@@ -145,13 +189,182 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 			fmt.Fprintf(stderr, format+"\n", args...)
 		}
 	}
-	results, err := runner.Run(ctx, space)
+	// On cancellation mid-sweep the harness still returns the completed
+	// configurations: store and emit them so a long interrupted sweep is
+	// resumable instead of losing everything, then surface the error.
+	results, runErr := runner.Run(ctx, space)
+	if len(results) > 0 {
+		if *storePath != "" {
+			n, err := store.Append(*storePath, results)
+			if err != nil {
+				return errors.Join(runErr, err)
+			}
+			fmt.Fprintf(stderr, "stored %d results in %s\n", n, *storePath)
+		}
+		if err := writeJSON(stdout, results); err != nil {
+			return errors.Join(runErr, err)
+		}
+	}
+	return runErr
+}
+
+// filterFlags registers the store filter flags on fs and returns a builder
+// that parses them after fs.Parse.
+func filterFlags(fs *flag.FlagSet) func() (store.Filter, error) {
+	specs := fs.String("specs", "", "comma-separated spec names to keep")
+	threads := fs.String("threads", "", "comma-separated thread counts to keep")
+	placement := fs.String("placement", "", "comma-separated placements to keep")
+	return func() (store.Filter, error) {
+		f := store.Filter{
+			Specs:      splitNonEmpty(*specs),
+			Placements: splitNonEmpty(*placement),
+		}
+		for _, p := range f.Placements {
+			if _, err := harness.ParsePlacement(p); err != nil {
+				return f, err
+			}
+		}
+		if *threads != "" {
+			var err error
+			if f.Threads, err = parseIntList(*threads); err != nil {
+				return f, fmt.Errorf("--threads: %w", err)
+			}
+		}
+		return f, nil
+	}
+}
+
+// loadFiltered loads a store and applies the filter flags.
+func loadFiltered(db string, filter func() (store.Filter, error)) ([]harness.Result, error) {
+	if db == "" {
+		return nil, fmt.Errorf("--db is required")
+	}
+	f, err := filter()
+	if err != nil {
+		return nil, err
+	}
+	recs, err := store.Load(db)
+	if err != nil {
+		return nil, err
+	}
+	return store.Results(recs, f), nil
+}
+
+func cmdStore(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("store", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		db      = fs.String("db", "", "store file")
+		add     = fs.String("add", "", "append results from this 'run' JSON file ('-' for stdin)")
+		compact = fs.Bool("compact", false, "rewrite the store deduplicated")
+	)
+	filter := filterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *db == "" {
+		return fmt.Errorf("--db is required")
+	}
+	if *add != "" {
+		var r io.Reader = os.Stdin
+		if *add != "-" {
+			f, err := os.Open(*add)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		var results []harness.Result
+		if err := json.NewDecoder(r).Decode(&results); err != nil {
+			return fmt.Errorf("decoding results from %s: %w", *add, err)
+		}
+		n, err := store.Append(*db, results)
+		if err != nil {
+			return err
+		}
+		return writeJSON(stdout, map[string]any{"db": *db, "added": n})
+	}
+	if *compact {
+		kept, err := store.Compact(*db)
+		if err != nil {
+			return err
+		}
+		return writeJSON(stdout, map[string]any{"db": *db, "kept": kept})
+	}
+	f, err := filter()
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(stdout)
+	recs, err := store.Load(*db)
+	if err != nil {
+		return err
+	}
+	var out []store.Record
+	for _, rec := range recs {
+		if f.Match(rec.Result) {
+			out = append(out, rec)
+		}
+	}
+	return writeJSON(stdout, out)
+}
+
+// analysis is the analyze subcommand's output document.
+type analysis struct {
+	SchemaVersion int              `json:"schema_version"`
+	Observations  int              `json:"observations"`
+	Fit           *model.Fit       `json:"fit"`
+	Marginals     []model.Marginal `json:"marginals"`
+}
+
+func cmdAnalyze(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	db := fs.String("db", "", "store file")
+	filter := filterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	results, err := loadFiltered(*db, filter)
+	if err != nil {
+		return err
+	}
+	obs := model.FromResults(results)
+	fit, err := model.FitPower(obs)
+	if err != nil {
+		return err
+	}
+	return writeJSON(stdout, analysis{
+		SchemaVersion: store.SchemaVersion,
+		Observations:  len(obs),
+		Fit:           fit,
+		Marginals:     model.Marginals(results),
+	})
+}
+
+func cmdCompare(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	db := fs.String("db", "", "store file")
+	filter := filterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	results, err := loadFiltered(*db, filter)
+	if err != nil {
+		return err
+	}
+	infs := model.Interferences(results)
+	if len(infs) == 0 {
+		return fmt.Errorf("no co-run results with complete solo baselines in the store (run a --corun sweep plus solo sweeps of both specs at the same --threads and --iter-scale)")
+	}
+	return writeJSON(stdout, infs)
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(results)
+	return enc.Encode(v)
 }
 
 func splitNonEmpty(s string) []string {
@@ -164,17 +377,28 @@ func splitNonEmpty(s string) []string {
 	return out
 }
 
+// parseIntList parses a comma-separated list of strictly positive integers,
+// rejecting zero/negative values and silently dropping duplicates (order of
+// first appearance is kept).
 func parseIntList(s string) ([]int, error) {
 	parts := splitNonEmpty(s)
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("empty list")
 	}
+	seen := make(map[int]bool, len(parts))
 	out := make([]int, 0, len(parts))
 	for _, p := range parts {
 		v, err := strconv.Atoi(p)
 		if err != nil {
 			return nil, fmt.Errorf("bad integer %q", p)
 		}
+		if v <= 0 {
+			return nil, fmt.Errorf("value %d must be a positive integer", v)
+		}
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
 		out = append(out, v)
 	}
 	return out, nil

@@ -1,0 +1,66 @@
+package bench
+
+import "testing"
+
+// FuzzCyclePermutation asserts the invariant every chase kernel depends on:
+// for any (n, seed), the permutation is one single cycle visiting all n
+// elements — never multiple short cycles (which would shrink the effective
+// working set) and never out-of-range indices (which would crash a kernel).
+func FuzzCyclePermutation(f *testing.F) {
+	f.Add(uint16(2), uint64(0))
+	f.Add(uint16(3), uint64(1))
+	f.Add(uint16(64), uint64(42))
+	f.Add(uint16(1024), uint64(0x9e3779b97f4a7c15))
+	f.Add(uint16(4095), uint64(^uint64(0)))
+	f.Fuzz(func(t *testing.T, n16 uint16, seed uint64) {
+		n := int(n16)%4095 + 2 // keep fuzz iterations fast; n ∈ [2, 4096]
+		p := cyclePermutation(n, seed)
+		if len(p) != n {
+			t.Fatalf("n=%d seed=%d: got %d elements", n, seed, len(p))
+		}
+		visited := make([]bool, n)
+		i := uint32(0)
+		for steps := 0; steps < n; steps++ {
+			if int(i) >= n {
+				t.Fatalf("n=%d seed=%d: index %d out of range after %d steps", n, seed, i, steps)
+			}
+			if visited[i] {
+				t.Fatalf("n=%d seed=%d: revisited %d after %d steps (multiple cycles)", n, seed, i, steps)
+			}
+			visited[i] = true
+			i = p[i]
+		}
+		if i != 0 {
+			t.Fatalf("n=%d seed=%d: cycle did not close (ended at %d)", n, seed, i)
+		}
+	})
+}
+
+// TestCyclePermutationSeedVariety is the property the per-thread seeding
+// relies on: distinct seeds must yield distinct cycles (for n ≥ 8, where
+// the cycle space is astronomically larger than our seed set), so co-running
+// threads never walk correlated address streams.
+func TestCyclePermutationSeedVariety(t *testing.T) {
+	seedPairs := [][2]uint64{
+		{1, 2},
+		{0, 1},
+		{12345, 12345 + 0x9e3779b9}, // consecutive harness workspace seeds
+		{^uint64(0), 7},
+	}
+	for _, n := range []int{8, 16, 256, 4096} {
+		for _, pair := range seedPairs {
+			a := cyclePermutation(n, pair[0])
+			b := cyclePermutation(n, pair[1])
+			same := true
+			for i := range a {
+				if a[i] != b[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Errorf("n=%d: seeds %d and %d produced identical cycles", n, pair[0], pair[1])
+			}
+		}
+	}
+}

@@ -1,10 +1,13 @@
 // Package harness expands an exploration space (benchmark specs × thread
 // counts × placements), executes each configuration with warm-up and
 // repetitions, and aggregates energy/time/power/EDP with internal/stats.
+// Configurations can also pair two heterogeneous specs (co-runs) to measure
+// SMT/CMP interference, the core scenario of the MICRO 2012 methodology.
 package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -16,10 +19,20 @@ import (
 	"energybench/internal/stats"
 )
 
-// Space is the exploration space to sweep: the cartesian product of Specs,
-// ThreadCounts, and Placements, each run Warmup+Reps times.
+// Pair is a co-run configuration: two heterogeneous specs sharing the
+// machine. The harness runs an equal number of threads of each, interleaved
+// in placement order so compact puts A/B on SMT siblings of the same core
+// and scatter puts them on separate physical cores.
+type Pair struct {
+	A, B bench.Spec
+}
+
+// Space is the exploration space to sweep: the cartesian product of
+// (Specs ∪ Pairs), ThreadCounts, and Placements, each run Warmup+Reps times.
+// For a Pair, a thread count of n means n threads of each spec (2n total).
 type Space struct {
 	Specs        []bench.Spec
+	Pairs        []Pair
 	ThreadCounts []int
 	Placements   []Placement
 	Reps         int // measured repetitions per configuration
@@ -32,11 +45,19 @@ type Space struct {
 
 // Validate checks the space is runnable.
 func (s Space) Validate() error {
-	if len(s.Specs) == 0 {
-		return fmt.Errorf("harness: space has no specs")
+	if len(s.Specs) == 0 && len(s.Pairs) == 0 {
+		return fmt.Errorf("harness: space has no specs or pairs")
 	}
 	for _, sp := range s.Specs {
 		if err := sp.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, p := range s.Pairs {
+		if err := p.A.Validate(); err != nil {
+			return err
+		}
+		if err := p.B.Validate(); err != nil {
 			return err
 		}
 	}
@@ -60,41 +81,73 @@ func (s Space) Validate() error {
 	return nil
 }
 
-// Sample is one measured repetition of one configuration.
+// Sample is one measured repetition of one configuration. For co-runs,
+// TimeAS/TimeBS are the wall times of the slowest thread of each spec, so
+// per-spec slowdowns can be computed against solo baselines; DomainJ breaks
+// EnergyJ down per meter domain in Result.Domains order.
 type Sample struct {
-	EnergyJ float64 `json:"energy_j"`
-	TimeS   float64 `json:"time_s"`
-	PowerW  float64 `json:"power_w"`
+	EnergyJ float64   `json:"energy_j"`
+	TimeS   float64   `json:"time_s"`
+	PowerW  float64   `json:"power_w"`
+	TimeAS  float64   `json:"time_a_s,omitempty"`
+	TimeBS  float64   `json:"time_b_s,omitempty"`
+	DomainJ []float64 `json:"domain_j,omitempty"`
 }
 
-// Result aggregates all repetitions of one (spec, threads, placement)
-// configuration. EDP is the energy-delay product mean(E)·mean(T); EDDP
-// (energy·delay²) weights delay harder, as the paper's Pareto analyses do.
+// Result aggregates all repetitions of one configuration: a solo
+// (spec, threads, placement) run, or a co-run where ThreadsB threads of
+// SpecB share the machine. EDP is the energy-delay product mean(E)·mean(T);
+// EDDP (energy·delay²) weights delay harder, as the paper's Pareto analyses
+// do.
 type Result struct {
 	Spec      string          `json:"spec"`
 	Component bench.Component `json:"component"`
 	Threads   int             `json:"threads"`
-	Placement Placement       `json:"placement"`
-	Meter     string          `json:"meter"`
 	Iters     int             `json:"iters"`
-	Samples   []Sample        `json:"samples"`
-	EnergyJ   stats.Summary   `json:"energy_j_summary"`
-	TimeS     stats.Summary   `json:"time_s_summary"`
-	PowerW    stats.Summary   `json:"power_w_summary"`
-	EDP       float64         `json:"edp_js"`
-	EDDP      float64         `json:"eddp_js2"`
+	// Co-run fields; zero for solo runs.
+	SpecB      string          `json:"spec_b,omitempty"`
+	ComponentB bench.Component `json:"component_b,omitempty"`
+	ThreadsB   int             `json:"threads_b,omitempty"`
+	ItersB     int             `json:"iters_b,omitempty"`
+	Placement  Placement       `json:"placement"`
+	Meter      string          `json:"meter"`
+	Domains    []string        `json:"domains,omitempty"`
+	Samples    []Sample        `json:"samples"`
+	EnergyJ    stats.Summary   `json:"energy_j_summary"`
+	TimeS      stats.Summary   `json:"time_s_summary"`
+	PowerW     stats.Summary   `json:"power_w_summary"`
+	// TimeA/TimeB summarize per-spec wall times; only set for co-runs.
+	TimeA *stats.Summary `json:"time_a_s_summary,omitempty"`
+	TimeB *stats.Summary `json:"time_b_s_summary,omitempty"`
+	EDP   float64        `json:"edp_js"`
+	EDDP  float64        `json:"eddp_js2"`
 }
+
+// IsCoRun reports whether the result measured two specs sharing the machine.
+func (r Result) IsCoRun() bool { return r.SpecB != "" }
 
 // Runner executes a Space against an EnergyMeter.
 type Runner struct {
 	Meter meter.EnergyMeter
 	// Log, when non-nil, receives one progress line per configuration.
 	Log func(format string, args ...any)
+	// pin overrides the thread-pinning syscall in tests; nil means the
+	// platform pinThread.
+	pin func(cpu int) error
+}
+
+func (r *Runner) pinFunc() func(int) error {
+	if r.pin != nil {
+		return r.pin
+	}
+	return pinThread
 }
 
 // Run sweeps the whole exploration space. Configurations run strictly
 // sequentially — concurrent configurations would share the package-level
-// energy counters and corrupt each other's deltas.
+// energy counters and corrupt each other's deltas. On context cancellation
+// the results accumulated so far are returned alongside the context error,
+// so long sweeps are resumable via the store.
 func (r *Runner) Run(ctx context.Context, space Space) ([]Result, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
@@ -103,21 +156,45 @@ func (r *Runner) Run(ctx context.Context, space Space) ([]Result, error) {
 		return nil, fmt.Errorf("harness: no meter configured")
 	}
 	var results []Result
+	runOne := func(specA bench.Spec, specB *bench.Spec, threads int, placement Placement) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		res, err := r.runConfig(ctx, space, specA, specB, threads, placement)
+		if err != nil {
+			name := specA.Name
+			if specB != nil {
+				name += "+" + specB.Name
+			}
+			return fmt.Errorf("harness: %s/t%d/%s: %w", name, threads, placement, err)
+		}
+		results = append(results, res)
+		if r.Log != nil {
+			label := res.Spec
+			if res.IsCoRun() {
+				label += "+" + res.SpecB
+			}
+			r.Log("%-20s threads=%d placement=%-7s E=%.3fJ t=%.4fs P=%.2fW EDP=%.4f",
+				label, res.Threads, res.Placement,
+				res.EnergyJ.Mean, res.TimeS.Mean, res.PowerW.Mean, res.EDP)
+		}
+		return nil
+	}
 	for _, spec := range space.Specs {
 		for _, threads := range space.ThreadCounts {
 			for _, placement := range space.Placements {
-				if err := ctx.Err(); err != nil {
+				if err := runOne(spec, nil, threads, placement); err != nil {
 					return results, err
 				}
-				res, err := r.runConfig(ctx, space, spec, threads, placement)
-				if err != nil {
-					return results, fmt.Errorf("harness: %s/t%d/%s: %w", spec.Name, threads, placement, err)
-				}
-				results = append(results, res)
-				if r.Log != nil {
-					r.Log("%-12s threads=%d placement=%-7s E=%.3fJ t=%.4fs P=%.2fW EDP=%.4f",
-						res.Spec, res.Threads, res.Placement,
-						res.EnergyJ.Mean, res.TimeS.Mean, res.PowerW.Mean, res.EDP)
+			}
+		}
+	}
+	for _, pair := range space.Pairs {
+		pair := pair
+		for _, threads := range space.ThreadCounts {
+			for _, placement := range space.Placements {
+				if err := runOne(pair.A, &pair.B, threads, placement); err != nil {
+					return results, err
 				}
 			}
 		}
@@ -125,35 +202,68 @@ func (r *Runner) Run(ctx context.Context, space Space) ([]Result, error) {
 	return results, nil
 }
 
-func (r *Runner) runConfig(ctx context.Context, space Space, spec bench.Spec, threads int, placement Placement) (Result, error) {
-	iters := spec.Iters
-	if space.IterScale > 0 {
-		iters = int(float64(iters) * space.IterScale)
+// workUnit is one worker thread's assignment: which kernel to run on which
+// workspace, and which spec group (A=0, B=1) its wall time belongs to.
+type workUnit struct {
+	kernel bench.Kernel
+	ws     *bench.Workspace
+	iters  int
+	group  int
+}
+
+func scaleIters(iters int, scale float64) int {
+	if scale > 0 {
+		iters = int(float64(iters) * scale)
 		if iters < 1 {
 			iters = 1
 		}
 	}
-	// Per-thread workspaces, distinct seeds so chase cycles differ and
-	// threads never share buffers.
-	workspaces := make([]*bench.Workspace, threads)
-	for i := range workspaces {
-		workspaces[i] = bench.NewWorkspace(spec, uint64(i)*0x9e3779b9+12345)
-	}
-	cpus := cpuAssignment(placement, threads)
+	return iters
+}
 
+func (r *Runner) runConfig(ctx context.Context, space Space, specA bench.Spec, specB *bench.Spec, threads int, placement Placement) (Result, error) {
+	itersA := scaleIters(specA.Iters, space.IterScale)
 	res := Result{
-		Spec:      spec.Name,
-		Component: spec.Component,
+		Spec:      specA.Name,
+		Component: specA.Component,
 		Threads:   threads,
+		Iters:     itersA,
 		Placement: placement,
 		Meter:     r.Meter.Name(),
-		Iters:     iters,
 	}
+	for _, d := range r.Meter.Domains() {
+		res.Domains = append(res.Domains, d.Name)
+	}
+
+	// Per-thread workspaces, distinct seeds so chase cycles differ and
+	// threads never share buffers. Co-run units are interleaved A,B,A,B…
+	// so compact placement lands each A/B pair on SMT siblings of one core
+	// and scatter lands them on distinct physical cores.
+	var units []workUnit
+	seed := func(i int) uint64 { return uint64(i)*0x9e3779b9 + 12345 }
+	if specB == nil {
+		for i := 0; i < threads; i++ {
+			units = append(units, workUnit{specA.Kernel, bench.NewWorkspace(specA, seed(i)), itersA, 0})
+		}
+	} else {
+		itersB := scaleIters(specB.Iters, space.IterScale)
+		res.SpecB = specB.Name
+		res.ComponentB = specB.Component
+		res.ThreadsB = threads
+		res.ItersB = itersB
+		for i := 0; i < threads; i++ {
+			units = append(units,
+				workUnit{specA.Kernel, bench.NewWorkspace(specA, seed(2*i)), itersA, 0},
+				workUnit{specB.Kernel, bench.NewWorkspace(*specB, seed(2*i+1)), itersB, 1})
+		}
+	}
+	cpus := cpuAssignment(placement, len(units))
+
 	for rep := 0; rep < space.Warmup+space.Reps; rep++ {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
-		sample, err := r.runOnce(spec, workspaces, cpus, iters)
+		sample, err := r.runOnce(units, cpus, specB != nil)
 		if err != nil {
 			return res, err
 		}
@@ -162,20 +272,28 @@ func (r *Runner) runConfig(ctx context.Context, space Space, spec bench.Spec, th
 		}
 	}
 
-	energies := make([]float64, len(res.Samples))
-	times := make([]float64, len(res.Samples))
-	powers := make([]float64, len(res.Samples))
+	n := len(res.Samples)
+	energies := make([]float64, n)
+	times := make([]float64, n)
+	powers := make([]float64, n)
+	timesA := make([]float64, n)
+	timesB := make([]float64, n)
 	for i, s := range res.Samples {
 		energies[i], times[i], powers[i] = s.EnergyJ, s.TimeS, s.PowerW
+		timesA[i], timesB[i] = s.TimeAS, s.TimeBS
 	}
-	if space.MaxCV > 0 {
-		res.EnergyJ = stats.SummarizeRobust(energies, space.MaxCV, 2)
-		res.TimeS = stats.SummarizeRobust(times, space.MaxCV, 2)
-		res.PowerW = stats.SummarizeRobust(powers, space.MaxCV, 2)
-	} else {
-		res.EnergyJ = stats.Summarize(energies)
-		res.TimeS = stats.Summarize(times)
-		res.PowerW = stats.Summarize(powers)
+	summarize := func(xs []float64) stats.Summary {
+		if space.MaxCV > 0 {
+			return stats.SummarizeRobust(xs, space.MaxCV, 2)
+		}
+		return stats.Summarize(xs)
+	}
+	res.EnergyJ = summarize(energies)
+	res.TimeS = summarize(times)
+	res.PowerW = summarize(powers)
+	if specB != nil {
+		ta, tb := summarize(timesA), summarize(timesB)
+		res.TimeA, res.TimeB = &ta, &tb
 	}
 	res.EDP = res.EnergyJ.Mean * res.TimeS.Mean
 	res.EDDP = res.EDP * res.TimeS.Mean
@@ -184,9 +302,10 @@ func (r *Runner) runConfig(ctx context.Context, space Space, spec bench.Spec, th
 
 // runOnce executes one repetition: all threads start together behind a
 // barrier, the meter is read immediately around the parallel section, and
-// the sample is energy delta over wall time of the slowest thread.
-func (r *Runner) runOnce(spec bench.Spec, workspaces []*bench.Workspace, cpus []int, iters int) (Sample, error) {
-	threads := len(workspaces)
+// the sample is energy delta over wall time of the slowest thread. Each
+// thread's own wall time is recorded so co-runs can report per-spec times.
+func (r *Runner) runOnce(units []workUnit, cpus []int, corun bool) (Sample, error) {
+	threads := len(units)
 	start := make(chan struct{})
 	abort := make(chan struct{})
 	var ready, done sync.WaitGroup
@@ -194,6 +313,9 @@ func (r *Runner) runOnce(spec bench.Spec, workspaces []*bench.Workspace, cpus []
 	done.Add(threads)
 	var pinErr atomic.Value
 	var sink uint64
+	var t0 time.Time
+	elapsedPer := make([]float64, threads)
+	pin := r.pinFunc()
 
 	for t := 0; t < threads; t++ {
 		go func(t int) {
@@ -201,7 +323,7 @@ func (r *Runner) runOnce(spec bench.Spec, workspaces []*bench.Workspace, cpus []
 			if cpus != nil {
 				runtime.LockOSThread()
 				defer runtime.UnlockOSThread()
-				if err := pinThread(cpus[t]); err != nil {
+				if err := pin(cpus[t]); err != nil {
 					pinErr.Store(err)
 				}
 			}
@@ -211,7 +333,11 @@ func (r *Runner) runOnce(spec bench.Spec, workspaces []*bench.Workspace, cpus []
 			case <-abort:
 				return
 			}
-			v := spec.Kernel(workspaces[t], iters)
+			u := units[t]
+			v := u.kernel(u.ws, u.iters)
+			// t0 is written before close(start), so reading it here is
+			// ordered by the channel close.
+			elapsedPer[t] = time.Since(t0).Seconds()
 			atomic.AddUint64(&sink, v)
 		}(t)
 	}
@@ -224,25 +350,44 @@ func (r *Runner) runOnce(spec bench.Spec, workspaces []*bench.Workspace, cpus []
 		done.Wait()
 		return Sample{}, err
 	}
-	t0 := time.Now()
+	t0 = time.Now()
 	close(start)
 	done.Wait()
 	elapsed := time.Since(t0).Seconds()
-	after, err := r.Meter.Read()
-	if err != nil {
-		return Sample{}, err
-	}
+	after, readErr := r.Meter.Read()
 	atomic.AddUint64(&bench.Sink, sink)
+	// A pin failure invalidates the placement and must not be masked by a
+	// meter error on the closing read (or vice versa): join both.
+	var errs []error
 	if e := pinErr.Load(); e != nil {
-		return Sample{}, e.(error)
+		errs = append(errs, e.(error))
 	}
-	energy, err := meter.Delta(r.Meter, before, after)
+	if readErr != nil {
+		errs = append(errs, readErr)
+	}
+	if len(errs) > 0 {
+		return Sample{}, errors.Join(errs...)
+	}
+	domainJ, err := meter.DeltaPerDomain(r.Meter, before, after)
 	if err != nil {
 		return Sample{}, err
 	}
-	s := Sample{EnergyJ: energy, TimeS: elapsed}
+	var energy float64
+	for _, j := range domainJ {
+		energy += j
+	}
+	s := Sample{EnergyJ: energy, TimeS: elapsed, DomainJ: domainJ}
 	if elapsed > 0 {
 		s.PowerW = energy / elapsed
+	}
+	if corun {
+		for t, u := range units {
+			if u.group == 0 {
+				s.TimeAS = max(s.TimeAS, elapsedPer[t])
+			} else {
+				s.TimeBS = max(s.TimeBS, elapsedPer[t])
+			}
+		}
 	}
 	return s, nil
 }

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -138,6 +139,156 @@ func TestRunnerMeterFailureReleasesWorkers(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestRunnerCoRunPairs checks a paired configuration runs both specs
+// concurrently and reports per-spec wall times alongside the shared energy.
+func TestRunnerCoRunPairs(t *testing.T) {
+	specs := tinySpace(t).Specs
+	space := Space{
+		Pairs:        []Pair{{A: specs[0], B: specs[1]}},
+		ThreadCounts: []int{1, 2},
+		Placements:   []Placement{PlaceNone},
+		Reps:         2,
+		Warmup:       0,
+	}
+	r := &Runner{Meter: meter.NewMock(42)}
+	results, err := r.Run(context.Background(), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 { // 1 pair × 2 thread counts × 1 placement
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for _, res := range results {
+		if !res.IsCoRun() {
+			t.Fatalf("co-run result not flagged: %+v", res)
+		}
+		if res.Spec != "tiny-int" || res.SpecB != "tiny-chase" {
+			t.Errorf("specs = %q+%q, want tiny-int+tiny-chase", res.Spec, res.SpecB)
+		}
+		if res.ThreadsB != res.Threads {
+			t.Errorf("threads_b = %d, want %d", res.ThreadsB, res.Threads)
+		}
+		if res.TimeA == nil || res.TimeB == nil {
+			t.Fatalf("co-run result missing per-spec time summaries")
+		}
+		if res.TimeA.Mean <= 0 || res.TimeB.Mean <= 0 {
+			t.Errorf("per-spec times = %v/%v, want both positive", res.TimeA.Mean, res.TimeB.Mean)
+		}
+		for _, s := range res.Samples {
+			if s.TimeAS <= 0 || s.TimeBS <= 0 {
+				t.Errorf("sample per-spec times = %v/%v, want both positive", s.TimeAS, s.TimeBS)
+			}
+			if s.TimeS < s.TimeAS && s.TimeS < s.TimeBS {
+				t.Errorf("overall time %v below both per-spec times %v/%v", s.TimeS, s.TimeAS, s.TimeBS)
+			}
+		}
+		if len(res.Domains) == 0 {
+			t.Error("result missing meter domain names")
+		}
+	}
+	// Solo results must not carry co-run summaries.
+	solo, err := r.Run(context.Background(), tinySpace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range solo {
+		if res.IsCoRun() || res.TimeA != nil || res.TimeB != nil {
+			t.Errorf("solo result carries co-run fields: %+v", res)
+		}
+	}
+}
+
+func TestSpaceValidateCoRun(t *testing.T) {
+	specs := tinySpace(t).Specs
+	good := Space{Pairs: []Pair{{A: specs[0], B: specs[1]}}, ThreadCounts: []int{1}, Placements: []Placement{PlaceNone}, Reps: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid pair-only space rejected: %v", err)
+	}
+	bad := good
+	bad.Pairs = []Pair{{A: specs[0], B: bench.Spec{Name: "broken"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("space with invalid pair member accepted")
+	}
+}
+
+// TestRunnerMidSweepCancellation cancels after the first configuration
+// completes: the sweep must return the partial results with the context
+// error, and must not leak the worker goroutines holding locked OS threads.
+func TestRunnerMidSweepCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := &Runner{
+		Meter: meter.NewMock(42),
+		// Stub the pin syscall so PlaceCompact (which locks OS threads)
+		// works in any sandbox; the locking path is what we exercise.
+		pin: func(int) error { return nil },
+	}
+	r.Log = func(string, ...any) { cancel() }
+	space := tinySpace(t)
+	space.Placements = []Placement{PlaceCompact}
+	results, err := r.Run(ctx, space)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) == 0 {
+		t.Fatal("mid-sweep cancellation dropped the completed partial results")
+	}
+	if len(results) >= 4 {
+		t.Fatalf("got all %d results despite cancellation after the first", len(results))
+	}
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked after cancellation: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// secondReadFailsMeter succeeds on the opening read and fails on the closing
+// one, modelling a meter that dies mid-measurement.
+type secondReadFailsMeter struct {
+	inner meter.EnergyMeter
+	reads int
+}
+
+func (m *secondReadFailsMeter) Name() string            { return m.inner.Name() }
+func (m *secondReadFailsMeter) Domains() []meter.Domain { return m.inner.Domains() }
+func (m *secondReadFailsMeter) Read() (meter.Reading, error) {
+	m.reads++
+	if m.reads%2 == 0 {
+		return meter.Reading{}, errors.New("closing read failed")
+	}
+	return m.inner.Read()
+}
+
+// TestRunnerPinErrorNotMaskedByReadError is a regression test: when both the
+// thread pin and the closing meter read fail, the returned error must carry
+// both — the pin error used to be dropped.
+func TestRunnerPinErrorNotMaskedByReadError(t *testing.T) {
+	pinFailure := errors.New("pin failed")
+	r := &Runner{
+		Meter: &secondReadFailsMeter{inner: meter.NewMock(42)},
+		pin:   func(int) error { return pinFailure },
+	}
+	space := tinySpace(t)
+	space.Specs = space.Specs[:1]
+	space.ThreadCounts = []int{2}
+	space.Placements = []Placement{PlaceCompact}
+	space.Warmup = 0
+	_, err := r.Run(context.Background(), space)
+	if err == nil {
+		t.Fatal("want error, got nil")
+	}
+	if !errors.Is(err, pinFailure) {
+		t.Errorf("pin error dropped from %v", err)
+	}
+	if !strings.Contains(err.Error(), "closing read failed") {
+		t.Errorf("meter read error dropped from %v", err)
+	}
 }
 
 func TestParsePlacement(t *testing.T) {

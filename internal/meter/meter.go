@@ -34,16 +34,16 @@ type EnergyMeter interface {
 	Read() (Reading, error)
 }
 
-// Delta returns the energy in joules consumed between two readings of the
-// same meter, summing all domains and unwrapping counters that rolled over
-// at most once between the snapshots.
-func Delta(m EnergyMeter, start, end Reading) (float64, error) {
+// DeltaPerDomain returns the energy in joules consumed between two readings
+// of the same meter, one value per domain in Domains() order, unwrapping
+// counters that rolled over at most once between the snapshots.
+func DeltaPerDomain(m EnergyMeter, start, end Reading) ([]float64, error) {
 	doms := m.Domains()
 	if len(start.Counters) != len(doms) || len(end.Counters) != len(doms) {
-		return 0, fmt.Errorf("meter %s: reading has %d/%d counters, want %d",
+		return nil, fmt.Errorf("meter %s: reading has %d/%d counters, want %d",
 			m.Name(), len(start.Counters), len(end.Counters), len(doms))
 	}
-	var totalMicroJ float64
+	joules := make([]float64, len(doms))
 	for i, d := range doms {
 		s, e := start.Counters[i], end.Counters[i]
 		var delta uint64
@@ -55,10 +55,24 @@ func Delta(m EnergyMeter, start, end Reading) (float64, error) {
 			// from zero up to e.
 			delta = (d.MaxRangeMicroJ - s) + e
 		default:
-			return 0, fmt.Errorf("meter %s: domain %s counter went backwards (%d -> %d) with no wrap range",
+			return nil, fmt.Errorf("meter %s: domain %s counter went backwards (%d -> %d) with no wrap range",
 				m.Name(), d.Name, s, e)
 		}
-		totalMicroJ += float64(delta)
+		joules[i] = float64(delta) / 1e6
 	}
-	return totalMicroJ / 1e6, nil
+	return joules, nil
+}
+
+// Delta returns the total energy in joules consumed between two readings of
+// the same meter, summing all domains.
+func Delta(m EnergyMeter, start, end Reading) (float64, error) {
+	per, err := DeltaPerDomain(m, start, end)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, j := range per {
+		total += j
+	}
+	return total, nil
 }

@@ -113,6 +113,38 @@ func TestDeltaWraparoundArithmetic(t *testing.T) {
 	}
 }
 
+// twoDomainMeter exercises per-domain deltas with mixed wrap behavior.
+type twoDomainMeter struct{}
+
+func (twoDomainMeter) Name() string { return "two" }
+func (twoDomainMeter) Domains() []Domain {
+	return []Domain{{Name: "pkg-0", MaxRangeMicroJ: 1000}, {Name: "pkg-1", MaxRangeMicroJ: 1000}}
+}
+func (twoDomainMeter) Read() (Reading, error) { return Reading{}, nil }
+
+func TestDeltaPerDomain(t *testing.T) {
+	m := twoDomainMeter{}
+	start := Reading{Counters: []uint64{100, 900}}
+	end := Reading{Counters: []uint64{700, 100}} // pkg-1 wraps: (1000-900)+100 = 200
+	per, err := DeltaPerDomain(m, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != 2 {
+		t.Fatalf("got %d per-domain deltas, want 2", len(per))
+	}
+	if math.Abs(per[0]-600e-6) > 1e-15 || math.Abs(per[1]-200e-6) > 1e-15 {
+		t.Errorf("per-domain deltas = %v, want [600e-6 200e-6]", per)
+	}
+	total, err := Delta(m, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-800e-6) > 1e-15 {
+		t.Errorf("Delta = %v, want sum of domains 800e-6", total)
+	}
+}
+
 func TestDeltaCounterCountMismatch(t *testing.T) {
 	m := NewMock(1)
 	good, _ := m.Read()

@@ -1,0 +1,109 @@
+package model
+
+import (
+	"sort"
+
+	"energybench/internal/harness"
+)
+
+// Interference compares one co-run configuration against the solo baselines
+// of its two specs from the same dataset. Slowdowns are per-spec wall-time
+// ratios (≥ 1 means the co-runner cost it time); excess energy is the
+// co-run's energy minus the summed energy of running each spec's same
+// workload alone.
+type Interference struct {
+	SpecA     string `json:"spec_a"`
+	SpecB     string `json:"spec_b"`
+	ThreadsA  int    `json:"threads_a"`
+	ThreadsB  int    `json:"threads_b"`
+	Placement string `json:"placement"`
+	// Slowdowns: co-run wall time of the spec over its solo wall time at
+	// identical work and thread count.
+	SlowdownA float64 `json:"slowdown_a"`
+	SlowdownB float64 `json:"slowdown_b"`
+	// Energies: the co-run total vs the sum of the two solo baselines.
+	CorunEnergyJ     float64 `json:"corun_energy_j"`
+	SoloEnergyJ      float64 `json:"solo_energy_j"`
+	ExcessEnergyJ    float64 `json:"excess_energy_j"`
+	ExcessEnergyFrac float64 `json:"excess_energy_frac"`
+	// Baseline placements actually used (same placement preferred, then
+	// unpinned, then anything).
+	BaselineA string `json:"baseline_a_placement"`
+	BaselineB string `json:"baseline_b_placement"`
+}
+
+// soloBaseline finds the solo result measuring the same work as one side of
+// a co-run: same spec, thread count, iteration count, and meter. Placement
+// preference: the co-run's own placement, then "none", then any.
+func soloBaseline(results []harness.Result, spec string, threads, iters int, meterName string, placement harness.Placement) (harness.Result, bool) {
+	var fallback harness.Result
+	var haveFallback bool
+	var none harness.Result
+	var haveNone bool
+	for _, r := range results {
+		if r.IsCoRun() || r.Spec != spec || r.Threads != threads || r.Iters != iters || r.Meter != meterName {
+			continue
+		}
+		switch r.Placement {
+		case placement:
+			return r, true
+		case harness.PlaceNone:
+			none, haveNone = r, true
+		default:
+			fallback, haveFallback = r, true
+		}
+	}
+	if haveNone {
+		return none, true
+	}
+	return fallback, haveFallback
+}
+
+// Interferences derives interference metrics for every co-run in the
+// dataset that has solo baselines for both of its specs. Co-runs without
+// complete baselines are skipped. Output order is deterministic.
+func Interferences(results []harness.Result) []Interference {
+	var out []Interference
+	for _, r := range results {
+		if !r.IsCoRun() || r.TimeA == nil || r.TimeB == nil {
+			continue
+		}
+		a, okA := soloBaseline(results, r.Spec, r.Threads, r.Iters, r.Meter, r.Placement)
+		b, okB := soloBaseline(results, r.SpecB, r.ThreadsB, r.ItersB, r.Meter, r.Placement)
+		if !okA || !okB || a.TimeS.Mean <= 0 || b.TimeS.Mean <= 0 {
+			continue
+		}
+		soloE := a.EnergyJ.Mean + b.EnergyJ.Mean
+		inf := Interference{
+			SpecA:         r.Spec,
+			SpecB:         r.SpecB,
+			ThreadsA:      r.Threads,
+			ThreadsB:      r.ThreadsB,
+			Placement:     string(r.Placement),
+			SlowdownA:     r.TimeA.Mean / a.TimeS.Mean,
+			SlowdownB:     r.TimeB.Mean / b.TimeS.Mean,
+			CorunEnergyJ:  r.EnergyJ.Mean,
+			SoloEnergyJ:   soloE,
+			ExcessEnergyJ: r.EnergyJ.Mean - soloE,
+			BaselineA:     string(a.Placement),
+			BaselineB:     string(b.Placement),
+		}
+		if soloE > 0 {
+			inf.ExcessEnergyFrac = inf.ExcessEnergyJ / soloE
+		}
+		out = append(out, inf)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SpecA != out[j].SpecA {
+			return out[i].SpecA < out[j].SpecA
+		}
+		if out[i].SpecB != out[j].SpecB {
+			return out[i].SpecB < out[j].SpecB
+		}
+		if out[i].ThreadsA != out[j].ThreadsA {
+			return out[i].ThreadsA < out[j].ThreadsA
+		}
+		return out[i].Placement < out[j].Placement
+	})
+	return out
+}

@@ -1,0 +1,280 @@
+// Package model decomposes measured power into the paper's linear model
+// P = P_static + Σ_c a_c · activity_c via ordinary least squares over a set
+// of micro-benchmark measurements, and derives the CMP-vs-SMT marginal
+// energy and co-run interference metrics that are the MICRO 2012 paper's
+// headline analyses.
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"energybench/internal/bench"
+	"energybench/internal/harness"
+)
+
+// Observation is one data point for the fit: the mean power a configuration
+// drew and how many threads were actively stressing each component.
+type Observation struct {
+	Label    string
+	PowerW   float64
+	Activity map[bench.Component]float64
+}
+
+// FromResults converts harness results into fit observations. A solo run
+// contributes its thread count as activity on its component; a co-run
+// contributes both specs' thread counts on their respective components
+// (summed when both stress the same component).
+func FromResults(results []harness.Result) []Observation {
+	obs := make([]Observation, 0, len(results))
+	for _, r := range results {
+		act := map[bench.Component]float64{r.Component: float64(r.Threads)}
+		label := fmt.Sprintf("%s/t%d/%s", r.Spec, r.Threads, r.Placement)
+		if r.IsCoRun() {
+			act[r.ComponentB] += float64(r.ThreadsB)
+			label = fmt.Sprintf("%s+%s/t%d+%d/%s", r.Spec, r.SpecB, r.Threads, r.ThreadsB, r.Placement)
+		}
+		obs = append(obs, Observation{Label: label, PowerW: r.PowerW.Mean, Activity: act})
+	}
+	return obs
+}
+
+// Residual is one observation's misfit under the fitted model.
+type Residual struct {
+	Label      string  `json:"label"`
+	ActualW    float64 `json:"actual_w"`
+	PredictedW float64 `json:"predicted_w"`
+	ResidualW  float64 `json:"residual_w"`
+}
+
+// Fit is the fitted linear power model.
+type Fit struct {
+	// PStaticW is the intercept: power drawn with zero activity (static +
+	// uncore + idle clock tree).
+	PStaticW float64 `json:"p_static_w"`
+	// CoeffW maps each component to its dynamic power per active thread.
+	CoeffW map[bench.Component]float64 `json:"coeff_w_per_thread"`
+	// R2 is the coefficient of determination; 1 means the model explains
+	// the observations exactly.
+	R2 float64 `json:"r2"`
+	// RMSEW is the root-mean-square residual in watts.
+	RMSEW     float64    `json:"rmse_w"`
+	N         int        `json:"n"`
+	Residuals []Residual `json:"residuals"`
+}
+
+// Predict evaluates the fitted model on an activity vector.
+func (f Fit) Predict(activity map[bench.Component]float64) float64 {
+	p := f.PStaticW
+	for c, x := range activity {
+		p += f.CoeffW[c] * x
+	}
+	return p
+}
+
+// FitPower solves the ordinary-least-squares problem
+// P_i = P_static + Σ_c a_c · activity_{i,c} over the observations. The
+// design needs at least as many observations as unknowns and enough
+// activity variation per component to separate its coefficient from the
+// intercept (i.e. the same component measured at ≥ 2 thread counts).
+func FitPower(obs []Observation) (*Fit, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("model: no observations")
+	}
+	compSet := map[bench.Component]bool{}
+	for _, o := range obs {
+		for c := range o.Activity {
+			compSet[c] = true
+		}
+	}
+	comps := make([]bench.Component, 0, len(compSet))
+	for c := range compSet {
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
+
+	k := len(comps) + 1 // intercept + one coefficient per component
+	if len(obs) < k {
+		return nil, fmt.Errorf("model: %d observations cannot identify %d parameters (intercept + %d components)",
+			len(obs), k, len(comps))
+	}
+
+	// Build the design matrix row by row and accumulate the normal
+	// equations XᵀX β = Xᵀy directly; k is tiny (≤ #components + 1).
+	xtx := make([][]float64, k)
+	for i := range xtx {
+		xtx[i] = make([]float64, k)
+	}
+	xty := make([]float64, k)
+	row := make([]float64, k)
+	for _, o := range obs {
+		row[0] = 1
+		for j, c := range comps {
+			row[j+1] = o.Activity[c]
+		}
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+			xty[i] += row[i] * o.PowerW
+		}
+	}
+	beta, err := solveLinear(xtx, xty)
+	if err != nil {
+		return nil, fmt.Errorf("model: design is rank-deficient — measure each component at two or more thread counts (%w)", err)
+	}
+
+	fit := &Fit{PStaticW: beta[0], CoeffW: map[bench.Component]float64{}, N: len(obs)}
+	for j, c := range comps {
+		fit.CoeffW[c] = beta[j+1]
+	}
+	var ssRes, ssTot, mean float64
+	for _, o := range obs {
+		mean += o.PowerW
+	}
+	mean /= float64(len(obs))
+	for _, o := range obs {
+		pred := fit.Predict(o.Activity)
+		res := o.PowerW - pred
+		ssRes += res * res
+		ssTot += (o.PowerW - mean) * (o.PowerW - mean)
+		fit.Residuals = append(fit.Residuals, Residual{
+			Label: o.Label, ActualW: o.PowerW, PredictedW: pred, ResidualW: res,
+		})
+	}
+	fit.RMSEW = math.Sqrt(ssRes / float64(len(obs)))
+	switch {
+	case ssTot > 0:
+		fit.R2 = 1 - ssRes/ssTot
+	case ssRes <= 1e-18:
+		// Constant observations fitted exactly (e.g. a constant-power
+		// mock): the model explains everything there is to explain.
+		fit.R2 = 1
+	default:
+		fit.R2 = 0
+	}
+	return fit, nil
+}
+
+// solveLinear solves a·x = b by Gaussian elimination with partial pivoting.
+// a and b are overwritten.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	var scale float64
+	for i := range a {
+		for j := range a[i] {
+			scale = math.Max(scale, math.Abs(a[i][j]))
+		}
+	}
+	eps := 1e-12 * math.Max(scale, 1)
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < eps {
+			return nil, fmt.Errorf("singular matrix at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for j := i + 1; j < n; j++ {
+			sum -= a[i][j] * x[j]
+		}
+		x[i] = sum / a[i][i]
+	}
+	return x, nil
+}
+
+// Marginal quantifies the cost of a second thread of a spec: "smt" when the
+// second thread co-schedules on the SMT sibling (compact placement), "cmp"
+// when it runs on a second physical core (scatter). This is the paper's
+// central CMP-vs-SMT comparison.
+type Marginal struct {
+	Spec  string `json:"spec"`
+	Meter string `json:"meter"`
+	// Kind is "smt" (compact, sibling sharing a core) or "cmp" (scatter,
+	// second physical core).
+	Kind            string  `json:"kind"`
+	Placement       string  `json:"placement"`
+	MarginalPowerW  float64 `json:"marginal_power_w"`  // P(2 threads) − P(1 thread)
+	MarginalEnergyJ float64 `json:"marginal_energy_j"` // E(2 threads) − E(1 thread), at 2× work
+	ThroughputGain  float64 `json:"throughput_gain"`   // 2·T(1)/T(2); 2 = perfect scaling
+}
+
+// Marginals derives the second-thread cost for every spec measured solo at
+// one and two threads under compact and/or scatter placement. The 1-thread
+// baseline prefers the same placement and falls back to unpinned ("none").
+// Baselines never cross meters: a store accumulating mock and RAPL runs of
+// the same spec yields separate per-meter marginals, not a mixed subtraction.
+func Marginals(results []harness.Result) []Marginal {
+	type cfg struct {
+		spec      string
+		meter     string
+		threads   int
+		placement harness.Placement
+	}
+	solo := map[cfg]harness.Result{}
+	subjects := map[[2]string]bool{} // (spec, meter)
+	for _, r := range results {
+		if r.IsCoRun() {
+			continue
+		}
+		solo[cfg{r.Spec, r.Meter, r.Threads, r.Placement}] = r
+		subjects[[2]string{r.Spec, r.Meter}] = true
+	}
+	keys := make([][2]string, 0, len(subjects))
+	for s := range subjects {
+		keys = append(keys, s)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+
+	var out []Marginal
+	for _, key := range keys {
+		name, meterName := key[0], key[1]
+		for _, pk := range []struct {
+			placement harness.Placement
+			kind      string
+		}{{harness.PlaceCompact, "smt"}, {harness.PlaceScatter, "cmp"}} {
+			two, ok := solo[cfg{name, meterName, 2, pk.placement}]
+			if !ok {
+				continue
+			}
+			one, ok := solo[cfg{name, meterName, 1, pk.placement}]
+			if !ok {
+				one, ok = solo[cfg{name, meterName, 1, harness.PlaceNone}]
+			}
+			if !ok || one.TimeS.Mean <= 0 || two.TimeS.Mean <= 0 || one.Iters != two.Iters {
+				continue
+			}
+			out = append(out, Marginal{
+				Spec:            name,
+				Meter:           meterName,
+				Kind:            pk.kind,
+				Placement:       string(pk.placement),
+				MarginalPowerW:  two.PowerW.Mean - one.PowerW.Mean,
+				MarginalEnergyJ: two.EnergyJ.Mean - one.EnergyJ.Mean,
+				ThroughputGain:  2 * one.TimeS.Mean / two.TimeS.Mean,
+			})
+		}
+	}
+	return out
+}

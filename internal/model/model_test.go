@@ -1,0 +1,308 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"energybench/internal/bench"
+	"energybench/internal/harness"
+	"energybench/internal/stats"
+)
+
+// plantObs builds observations from a known ground-truth model, optionally
+// perturbed by deterministic noise.
+func plantObs(pStatic float64, coeff map[bench.Component]float64, activities []map[bench.Component]float64, noise []float64) []Observation {
+	obs := make([]Observation, len(activities))
+	for i, act := range activities {
+		p := pStatic
+		for c, x := range act {
+			p += coeff[c] * x
+		}
+		if noise != nil {
+			p += noise[i%len(noise)]
+		}
+		obs[i] = Observation{Label: "obs", PowerW: p, Activity: act}
+	}
+	return obs
+}
+
+func TestFitPowerRecoversPlantedCoefficients(t *testing.T) {
+	intALU, dram := bench.CompIntALU, bench.CompDRAM
+	grid := []map[bench.Component]float64{
+		{intALU: 1}, {intALU: 2}, {intALU: 4},
+		{dram: 1}, {dram: 2},
+		{intALU: 1, dram: 1}, {intALU: 2, dram: 2},
+	}
+	tests := []struct {
+		name    string
+		pStatic float64
+		coeff   map[bench.Component]float64
+		noise   []float64
+		tol     float64
+		minR2   float64
+	}{
+		{
+			name:    "noiseless-exact",
+			pStatic: 12.5,
+			coeff:   map[bench.Component]float64{intALU: 2.25, dram: 5.5},
+			tol:     1e-9,
+			minR2:   1 - 1e-12,
+		},
+		{
+			name:    "zero-coefficients",
+			pStatic: 42,
+			coeff:   map[bench.Component]float64{intALU: 0, dram: 0},
+			tol:     1e-9,
+			minR2:   1 - 1e-12, // constant observations, exactly explained
+		},
+		{
+			name:    "with-noise",
+			pStatic: 20,
+			coeff:   map[bench.Component]float64{intALU: 3, dram: 8},
+			noise:   []float64{0.1, -0.08, 0.05, -0.1, 0.02, 0.07, -0.06},
+			tol:     0.5,
+			minR2:   0.95,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			fit, err := FitPower(plantObs(tc.pStatic, tc.coeff, grid, tc.noise))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(fit.PStaticW-tc.pStatic) > tc.tol {
+				t.Errorf("P_static = %v, want %v ± %v", fit.PStaticW, tc.pStatic, tc.tol)
+			}
+			for c, want := range tc.coeff {
+				if got := fit.CoeffW[c]; math.Abs(got-want) > tc.tol {
+					t.Errorf("coeff[%s] = %v, want %v ± %v", c, got, want, tc.tol)
+				}
+			}
+			if fit.R2 < tc.minR2 {
+				t.Errorf("R² = %v, want ≥ %v", fit.R2, tc.minR2)
+			}
+			if fit.N != len(grid) || len(fit.Residuals) != len(grid) {
+				t.Errorf("N = %d, residuals = %d, want %d", fit.N, len(fit.Residuals), len(grid))
+			}
+			if tc.noise == nil && fit.RMSEW > 1e-9 {
+				t.Errorf("noiseless RMSE = %v, want ~0", fit.RMSEW)
+			}
+		})
+	}
+}
+
+func TestFitPowerErrors(t *testing.T) {
+	intALU := bench.CompIntALU
+	t.Run("no-observations", func(t *testing.T) {
+		if _, err := FitPower(nil); err == nil {
+			t.Error("want error for empty observation set")
+		}
+	})
+	t.Run("underdetermined", func(t *testing.T) {
+		obs := plantObs(10, map[bench.Component]float64{intALU: 2},
+			[]map[bench.Component]float64{{intALU: 1}}, nil)
+		if _, err := FitPower(obs); err == nil {
+			t.Error("want error for fewer observations than parameters")
+		}
+	})
+	t.Run("collinear-single-thread-count", func(t *testing.T) {
+		// Every observation has activity 1 on the same component: the
+		// component column equals the intercept column.
+		obs := plantObs(10, map[bench.Component]float64{intALU: 2},
+			[]map[bench.Component]float64{{intALU: 1}, {intALU: 1}, {intALU: 1}}, nil)
+		if _, err := FitPower(obs); err == nil {
+			t.Error("want rank-deficiency error for collinear design")
+		}
+	})
+}
+
+func summary(mean float64) stats.Summary { return stats.Summary{N: 3, Mean: mean} }
+
+func soloResult(spec string, comp bench.Component, threads int, placement harness.Placement, powerW, timeS float64) harness.Result {
+	return harness.Result{
+		Spec: spec, Component: comp, Threads: threads, Iters: 1000,
+		Placement: placement, Meter: "mock",
+		PowerW:  summary(powerW),
+		TimeS:   summary(timeS),
+		EnergyJ: summary(powerW * timeS),
+	}
+}
+
+func TestFromResults(t *testing.T) {
+	solo := soloResult("int-alu", bench.CompIntALU, 2, harness.PlaceNone, 14, 1)
+	corun := soloResult("int-alu", bench.CompIntALU, 1, harness.PlaceCompact, 17, 2.5)
+	corun.SpecB, corun.ComponentB, corun.ThreadsB = "chase-dram", bench.CompDRAM, 1
+	same := corun
+	same.SpecB, same.ComponentB, same.ThreadsB = "int-alu2", bench.CompIntALU, 2
+
+	obs := FromResults([]harness.Result{solo, corun, same})
+	if len(obs) != 3 {
+		t.Fatalf("got %d observations, want 3", len(obs))
+	}
+	if obs[0].Activity[bench.CompIntALU] != 2 {
+		t.Errorf("solo activity = %v, want int-alu:2", obs[0].Activity)
+	}
+	if obs[1].Activity[bench.CompIntALU] != 1 || obs[1].Activity[bench.CompDRAM] != 1 {
+		t.Errorf("co-run activity = %v, want int-alu:1 dram:1", obs[1].Activity)
+	}
+	if obs[2].Activity[bench.CompIntALU] != 3 {
+		t.Errorf("same-component co-run activity = %v, want int-alu:3 (summed)", obs[2].Activity)
+	}
+	if obs[1].PowerW != 17 {
+		t.Errorf("observation power = %v, want 17", obs[1].PowerW)
+	}
+}
+
+func TestMarginalsSMTvsCMP(t *testing.T) {
+	results := []harness.Result{
+		// SMT: second thread on the sibling — small power bump, poor scaling.
+		soloResult("int-alu", bench.CompIntALU, 1, harness.PlaceCompact, 12, 1.0),
+		soloResult("int-alu", bench.CompIntALU, 2, harness.PlaceCompact, 13.5, 1.25),
+		// CMP: second core — bigger power bump, perfect scaling.
+		soloResult("int-alu", bench.CompIntALU, 1, harness.PlaceScatter, 12, 1.0),
+		soloResult("int-alu", bench.CompIntALU, 2, harness.PlaceScatter, 16, 1.0),
+	}
+	ms := Marginals(results)
+	if len(ms) != 2 {
+		t.Fatalf("got %d marginals (%+v), want smt + cmp", len(ms), ms)
+	}
+	byKind := map[string]Marginal{}
+	for _, m := range ms {
+		byKind[m.Kind] = m
+	}
+	smt, cmp := byKind["smt"], byKind["cmp"]
+	if math.Abs(smt.MarginalPowerW-1.5) > 1e-9 {
+		t.Errorf("smt marginal power = %v, want 1.5", smt.MarginalPowerW)
+	}
+	if math.Abs(cmp.MarginalPowerW-4) > 1e-9 {
+		t.Errorf("cmp marginal power = %v, want 4", cmp.MarginalPowerW)
+	}
+	// E(2)−E(1): smt 13.5·1.25 − 12 = 4.875; cmp 16 − 12 = 4.
+	if math.Abs(smt.MarginalEnergyJ-4.875) > 1e-9 {
+		t.Errorf("smt marginal energy = %v, want 4.875", smt.MarginalEnergyJ)
+	}
+	if math.Abs(smt.ThroughputGain-1.6) > 1e-9 {
+		t.Errorf("smt throughput gain = %v, want 1.6", smt.ThroughputGain)
+	}
+	if math.Abs(cmp.ThroughputGain-2) > 1e-9 {
+		t.Errorf("cmp throughput gain = %v, want 2", cmp.ThroughputGain)
+	}
+}
+
+// TestMarginalsDoNotCrossMeters is a regression test: a store accumulating
+// mock and RAPL runs of the same spec must never subtract a mock baseline
+// from a RAPL measurement.
+func TestMarginalsDoNotCrossMeters(t *testing.T) {
+	rapl1 := soloResult("int-alu", bench.CompIntALU, 1, harness.PlaceCompact, 95, 1.0)
+	rapl1.Meter = "rapl"
+	rapl2 := soloResult("int-alu", bench.CompIntALU, 2, harness.PlaceCompact, 110, 1.2)
+	rapl2.Meter = "rapl"
+	results := []harness.Result{
+		soloResult("int-alu", bench.CompIntALU, 1, harness.PlaceCompact, 42, 1.0), // mock
+		rapl1, rapl2,
+	}
+	ms := Marginals(results)
+	if len(ms) != 1 {
+		t.Fatalf("got %d marginals (%+v), want only the complete rapl pair", len(ms), ms)
+	}
+	if ms[0].Meter != "rapl" {
+		t.Errorf("marginal meter = %q, want rapl", ms[0].Meter)
+	}
+	if math.Abs(ms[0].MarginalPowerW-15) > 1e-9 {
+		t.Errorf("marginal power = %v, want 15 (rapl t2 − rapl t1, never the mock baseline)", ms[0].MarginalPowerW)
+	}
+}
+
+func TestMarginalsFallsBackToUnpinnedBaseline(t *testing.T) {
+	results := []harness.Result{
+		soloResult("int-alu", bench.CompIntALU, 1, harness.PlaceNone, 12, 1.0),
+		soloResult("int-alu", bench.CompIntALU, 2, harness.PlaceCompact, 14, 1.2),
+	}
+	ms := Marginals(results)
+	if len(ms) != 1 || ms[0].Kind != "smt" {
+		t.Fatalf("got %+v, want one smt marginal via the none-placement baseline", ms)
+	}
+	if math.Abs(ms[0].MarginalPowerW-2) > 1e-9 {
+		t.Errorf("marginal power = %v, want 2", ms[0].MarginalPowerW)
+	}
+}
+
+func corunResult(specA, specB string, compA, compB bench.Component, placement harness.Placement, powerW, timeA, timeB float64) harness.Result {
+	ta, tb := summary(timeA), summary(timeB)
+	tMax := math.Max(timeA, timeB)
+	return harness.Result{
+		Spec: specA, Component: compA, Threads: 1, Iters: 1000,
+		SpecB: specB, ComponentB: compB, ThreadsB: 1, ItersB: 1000,
+		Placement: placement, Meter: "mock",
+		PowerW:  summary(powerW),
+		TimeS:   summary(tMax),
+		EnergyJ: summary(powerW * tMax),
+		TimeA:   &ta, TimeB: &tb,
+	}
+}
+
+func TestInterferences(t *testing.T) {
+	results := []harness.Result{
+		soloResult("int-alu", bench.CompIntALU, 1, harness.PlaceNone, 12, 1.0),
+		soloResult("chase-dram", bench.CompDRAM, 1, harness.PlaceNone, 15, 2.0),
+		corunResult("int-alu", "chase-dram", bench.CompIntALU, bench.CompDRAM, harness.PlaceNone, 17, 1.2, 2.5),
+	}
+	infs := Interferences(results)
+	if len(infs) != 1 {
+		t.Fatalf("got %d interference entries, want 1", len(infs))
+	}
+	inf := infs[0]
+	if math.Abs(inf.SlowdownA-1.2) > 1e-9 {
+		t.Errorf("slowdown A = %v, want 1.2", inf.SlowdownA)
+	}
+	if math.Abs(inf.SlowdownB-1.25) > 1e-9 {
+		t.Errorf("slowdown B = %v, want 1.25", inf.SlowdownB)
+	}
+	// Co-run energy 17·2.5 = 42.5; solo sum 12 + 30 = 42.
+	if math.Abs(inf.CorunEnergyJ-42.5) > 1e-9 || math.Abs(inf.SoloEnergyJ-42) > 1e-9 {
+		t.Errorf("energies = %v vs %v, want 42.5 vs 42", inf.CorunEnergyJ, inf.SoloEnergyJ)
+	}
+	if math.Abs(inf.ExcessEnergyJ-0.5) > 1e-9 {
+		t.Errorf("excess energy = %v, want 0.5", inf.ExcessEnergyJ)
+	}
+	if math.Abs(inf.ExcessEnergyFrac-0.5/42) > 1e-12 {
+		t.Errorf("excess energy frac = %v, want %v", inf.ExcessEnergyFrac, 0.5/42)
+	}
+}
+
+func TestInterferencesSkipsWithoutBaselines(t *testing.T) {
+	corun := corunResult("int-alu", "chase-dram", bench.CompIntALU, bench.CompDRAM, harness.PlaceNone, 17, 1.2, 2.5)
+	// Only one of the two baselines present.
+	results := []harness.Result{
+		soloResult("int-alu", bench.CompIntALU, 1, harness.PlaceNone, 12, 1.0),
+		corun,
+	}
+	if infs := Interferences(results); len(infs) != 0 {
+		t.Errorf("got %+v, want no entries when a baseline is missing", infs)
+	}
+	// Baseline at mismatched work (different iters) must not be used.
+	badIters := soloResult("chase-dram", bench.CompDRAM, 1, harness.PlaceNone, 15, 2.0)
+	badIters.Iters = 999
+	results = append(results, badIters)
+	if infs := Interferences(results); len(infs) != 0 {
+		t.Errorf("got %+v, want no entries when baseline work differs", infs)
+	}
+}
+
+func TestInterferenceBaselinePlacementPreference(t *testing.T) {
+	// Same-placement baseline must win over the unpinned one.
+	compact1 := soloResult("int-alu", bench.CompIntALU, 1, harness.PlaceCompact, 12, 1.0)
+	none1 := soloResult("int-alu", bench.CompIntALU, 1, harness.PlaceNone, 12, 2.0)
+	dram := soloResult("chase-dram", bench.CompDRAM, 1, harness.PlaceNone, 15, 2.0)
+	corun := corunResult("int-alu", "chase-dram", bench.CompIntALU, bench.CompDRAM, harness.PlaceCompact, 17, 1.2, 2.5)
+	infs := Interferences([]harness.Result{compact1, none1, dram, corun})
+	if len(infs) != 1 {
+		t.Fatalf("got %d entries, want 1", len(infs))
+	}
+	if infs[0].BaselineA != "compact" {
+		t.Errorf("baseline A placement = %q, want compact", infs[0].BaselineA)
+	}
+	if math.Abs(infs[0].SlowdownA-1.2) > 1e-9 {
+		t.Errorf("slowdown A = %v, want 1.2 (against the compact baseline)", infs[0].SlowdownA)
+	}
+}

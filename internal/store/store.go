@@ -1,0 +1,263 @@
+// Package store persists harness results as a versioned JSONL file, one
+// record per line. Appending is cheap and crash-tolerant (a torn final line
+// is skipped on load), runs from different invocations accumulate into one
+// dataset, and loading dedups by configuration key (last write wins) so
+// re-running a configuration supersedes its old measurement. This is what
+// turns one-shot sweeps into the accumulating datasets the model-fitting
+// layer consumes.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"energybench/internal/harness"
+)
+
+// SchemaVersion is the record schema this package writes. Readers accept
+// records with a version at or below their own and reject newer ones.
+const SchemaVersion = 1
+
+// maxLine bounds one JSONL record; results with many samples stay far under.
+const maxLine = 16 << 20
+
+// Record is one stored measurement: a harness result plus the metadata
+// needed to merge stores written at different times by different builds.
+type Record struct {
+	V       int            `json:"v"`
+	Key     string         `json:"key"`
+	SavedAt time.Time      `json:"saved_at"`
+	Result  harness.Result `json:"result"`
+}
+
+// Key derives the configuration identity of a result: two results with the
+// same key measured the same configuration and the newer one supersedes the
+// older on load. Iteration counts are part of the identity because energy
+// totals are only comparable at equal work.
+func Key(r harness.Result) string {
+	return fmt.Sprintf("%s|%s|t%d+%d|%s|%s|i%d+%d",
+		r.Spec, r.SpecB, r.Threads, r.ThreadsB, r.Placement, r.Meter, r.Iters, r.ItersB)
+}
+
+// Append writes the results to the store at path, creating it if needed,
+// and returns how many records were written. A crash-torn trailing partial
+// line (missing its newline) is truncated away first — its record was
+// already unrecoverable, and appending after it would corrupt the new
+// record too.
+func Append(path string, results []harness.Result) (int, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	if err := truncateTornLine(f); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	now := time.Now().UTC()
+	for _, res := range results {
+		if err := enc.Encode(Record{V: SchemaVersion, Key: Key(res), SavedAt: now, Result: res}); err != nil {
+			f.Close()
+			return 0, fmt.Errorf("store: encode: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("store: flush: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("store: close: %w", err)
+	}
+	return len(results), nil
+}
+
+// truncateTornLine drops an unterminated final line left by a crash
+// mid-append, scanning backwards for the last newline.
+func truncateTornLine(f *os.File) error {
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil
+	}
+	buf := make([]byte, 64<<10)
+	end := size
+	for end > 0 {
+		n := int64(len(buf))
+		if n > end {
+			n = end
+		}
+		if _, err := f.ReadAt(buf[:n], end-n); err != nil {
+			return err
+		}
+		// On the first (rightmost) chunk, a trailing newline means the
+		// file is cleanly terminated and nothing needs repair.
+		if end == size && buf[n-1] == '\n' {
+			return nil
+		}
+		for i := n - 1; i >= 0; i-- {
+			if buf[i] == '\n' {
+				return f.Truncate(end - n + i + 1)
+			}
+		}
+		end -= n
+	}
+	// No newline at all: the whole file is one torn line.
+	return f.Truncate(0)
+}
+
+// Load reads every record from the store at path and dedups by key with the
+// last occurrence winning, preserving first-appearance order so output is
+// stable across re-runs of individual configurations. A truncated final
+// line (crash mid-append) is tolerated; any other malformed line or a
+// record from a newer schema is an error.
+func Load(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+
+	byKey := map[string]int{} // key → index in out
+	var out []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn final line is expected after a crash mid-append; a
+			// malformed line with records after it is corruption.
+			if !sc.Scan() {
+				break
+			}
+			return nil, fmt.Errorf("store: %s:%d: %w", path, lineNo, err)
+		}
+		if rec.V < 1 || rec.V > SchemaVersion {
+			return nil, fmt.Errorf("store: %s:%d: record schema v%d not supported (this build reads up to v%d)",
+				path, lineNo, rec.V, SchemaVersion)
+		}
+		if i, ok := byKey[rec.Key]; ok {
+			out[i] = rec
+			continue
+		}
+		byKey[rec.Key] = len(out)
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// Compact rewrites the store in place with duplicates removed, so long-lived
+// stores that re-measure configurations don't grow without bound. The
+// rewrite goes through a temp file and rename, so a crash leaves either the
+// old or the new store intact.
+func Compact(path string) (kept int, err error) {
+	recs, err := Load(path)
+	if err != nil {
+		return 0, err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "store-compact-*")
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("store: encode: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("store: flush: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("store: close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	return len(recs), nil
+}
+
+// Filter selects stored results. Zero-value fields match everything; a
+// non-empty Specs matches a result whose primary or co-run spec is listed.
+type Filter struct {
+	Specs      []string
+	Threads    []int
+	Placements []string
+}
+
+// Match reports whether the result passes the filter.
+func (f Filter) Match(r harness.Result) bool {
+	if len(f.Specs) > 0 {
+		ok := false
+		for _, s := range f.Specs {
+			if r.Spec == s || (r.SpecB != "" && r.SpecB == s) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(f.Threads) > 0 {
+		ok := false
+		for _, t := range f.Threads {
+			if r.Threads == t {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(f.Placements) > 0 {
+		ok := false
+		for _, p := range f.Placements {
+			if string(r.Placement) == p {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Results extracts the results passing the filter from loaded records.
+func Results(recs []Record, f Filter) []harness.Result {
+	var out []harness.Result
+	for _, rec := range recs {
+		if f.Match(rec.Result) {
+			out = append(out, rec.Result)
+		}
+	}
+	return out
+}

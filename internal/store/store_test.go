@@ -1,0 +1,304 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"energybench/internal/harness"
+	"energybench/internal/stats"
+)
+
+func mkResult(spec string, threads int, placement string) harness.Result {
+	return harness.Result{
+		Spec:      spec,
+		Threads:   threads,
+		Iters:     1000,
+		Placement: harness.Placement(placement),
+		Meter:     "mock",
+		EnergyJ:   stats.Summary{N: 3, Mean: 10},
+		TimeS:     stats.Summary{N: 3, Mean: 1},
+		PowerW:    stats.Summary{N: 3, Mean: 10},
+	}
+}
+
+func TestAppendLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.jsonl")
+	in := []harness.Result{
+		mkResult("int-alu", 1, "none"),
+		mkResult("int-alu", 2, "none"),
+		mkResult("chase-l1", 1, "compact"),
+	}
+	n, err := Append(path, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("appended %d records, want 3", n)
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("loaded %d records, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.V != SchemaVersion {
+			t.Errorf("record %d schema = %d, want %d", i, rec.V, SchemaVersion)
+		}
+		if rec.Key != Key(in[i]) {
+			t.Errorf("record %d key = %q, want %q", i, rec.Key, Key(in[i]))
+		}
+		if rec.SavedAt.IsZero() {
+			t.Errorf("record %d has zero timestamp", i)
+		}
+		if !reflect.DeepEqual(rec.Result, in[i]) {
+			t.Errorf("record %d result round-trip mismatch:\ngot  %+v\nwant %+v", i, rec.Result, in[i])
+		}
+	}
+}
+
+func TestLoadDedupsLastWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.jsonl")
+	first := mkResult("int-alu", 1, "none")
+	if _, err := Append(path, []harness.Result{first, mkResult("chase-l1", 1, "none")}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-measure the same configuration with a different value: the later
+	// record must replace the earlier one, in the earlier one's position.
+	second := first
+	second.EnergyJ.Mean = 99
+	if _, err := Append(path, []harness.Result{second}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("loaded %d records, want 2 after dedup", len(recs))
+	}
+	if recs[0].Result.Spec != "int-alu" || recs[0].Result.EnergyJ.Mean != 99 {
+		t.Errorf("dedup kept the stale record: %+v", recs[0].Result)
+	}
+	if recs[1].Result.Spec != "chase-l1" {
+		t.Errorf("dedup reordered records: %+v", recs[1].Result)
+	}
+}
+
+func TestKeyDistinguishesConfigurations(t *testing.T) {
+	base := mkResult("int-alu", 1, "none")
+	variants := []func(*harness.Result){
+		func(r *harness.Result) { r.Spec = "fp-mac" },
+		func(r *harness.Result) { r.Threads = 2 },
+		func(r *harness.Result) { r.Placement = "compact" },
+		func(r *harness.Result) { r.Meter = "rapl" },
+		func(r *harness.Result) { r.Iters = 2000 },
+		func(r *harness.Result) { r.SpecB = "chase-l1"; r.ThreadsB = 1; r.ItersB = 500 },
+	}
+	seen := map[string]bool{Key(base): true}
+	for i, mut := range variants {
+		r := base
+		mut(&r)
+		k := Key(r)
+		if seen[k] {
+			t.Errorf("variant %d collides with a previous key %q", i, k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.jsonl")); !os.IsNotExist(asPathErr(err)) {
+		t.Errorf("want not-exist error for missing store, got %v", err)
+	}
+}
+
+func asPathErr(err error) error {
+	for err != nil {
+		if pe, ok := err.(*os.PathError); ok {
+			return pe
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			break
+		}
+		err = u.Unwrap()
+	}
+	return err
+}
+
+func TestLoadRejectsNewerSchemaAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+
+	future := filepath.Join(dir, "future.jsonl")
+	if err := os.WriteFile(future, []byte(`{"v":999,"key":"k","result":{}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(future); err == nil || !strings.Contains(err.Error(), "v999") {
+		t.Errorf("want schema-version error, got %v", err)
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.jsonl")
+	good := `{"v":1,"key":"k","result":{"spec":"x"}}` + "\n"
+	if err := os.WriteFile(corrupt, []byte(good+"{not json}\n"+good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(corrupt); err == nil {
+		t.Error("want error for corrupt mid-file line, got nil")
+	}
+}
+
+func TestLoadToleratesTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.jsonl")
+	if _, err := Append(path, []harness.Result{mkResult("int-alu", 1, "none")}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":1,"key":"torn","resu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Errorf("loaded %d records, want 1 (torn line skipped)", len(recs))
+	}
+}
+
+// TestAppendAfterTornLineRepairs is a regression test: appending to a store
+// whose last line was torn by a crash must not concatenate the new record
+// onto the partial line (which silently lost it, or poisoned the store for
+// strict mid-file corruption detection).
+func TestAppendAfterTornLineRepairs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.jsonl")
+	if _, err := Append(path, []harness.Result{mkResult("int-alu", 1, "none")}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":1,"key":"torn","resu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if _, err := Append(path, []harness.Result{mkResult("int-alu", 2, "none")}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatalf("store unreadable after append-over-torn-line: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("loaded %d records, want both the pre-crash and post-crash records", len(recs))
+	}
+	if recs[0].Result.Threads != 1 || recs[1].Result.Threads != 2 {
+		t.Errorf("records = t%d, t%d; want t1 then t2", recs[0].Result.Threads, recs[1].Result.Threads)
+	}
+
+	// A store that is nothing but one torn line repairs to empty and accepts
+	// the append.
+	junk := filepath.Join(t.TempDir(), "junk.jsonl")
+	if err := os.WriteFile(junk, []byte("{partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Append(junk, []harness.Result{mkResult("fp-mac", 1, "none")}); err != nil {
+		t.Fatal(err)
+	}
+	if recs, err := Load(junk); err != nil || len(recs) != 1 {
+		t.Errorf("junk-only store after append: %v, %d records, want 1", err, len(recs))
+	}
+}
+
+func TestCompactRewritesDeduped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.jsonl")
+	r := mkResult("int-alu", 1, "none")
+	for i := 0; i < 5; i++ {
+		if _, err := Append(path, []harness.Result{r}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kept, err := Compact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 1 {
+		t.Errorf("compact kept %d records, want 1", kept)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(b), "\n"); lines != 1 {
+		t.Errorf("compacted file has %d lines, want 1", lines)
+	}
+	if recs, err := Load(path); err != nil || len(recs) != 1 {
+		t.Errorf("compacted store unreadable: %v, %d records", err, len(recs))
+	}
+}
+
+func TestFilterMatch(t *testing.T) {
+	solo := mkResult("int-alu", 2, "scatter")
+	corun := mkResult("int-alu", 1, "compact")
+	corun.SpecB = "chase-dram"
+	corun.ThreadsB = 1
+
+	tests := []struct {
+		name string
+		f    Filter
+		r    harness.Result
+		want bool
+	}{
+		{"empty-matches-all", Filter{}, solo, true},
+		{"spec-hit", Filter{Specs: []string{"int-alu"}}, solo, true},
+		{"spec-miss", Filter{Specs: []string{"fp-mac"}}, solo, false},
+		{"spec-b-hit", Filter{Specs: []string{"chase-dram"}}, corun, true},
+		{"threads-hit", Filter{Threads: []int{1, 2}}, solo, true},
+		{"threads-miss", Filter{Threads: []int{4}}, solo, false},
+		{"placement-hit", Filter{Placements: []string{"scatter"}}, solo, true},
+		{"placement-miss", Filter{Placements: []string{"none"}}, solo, false},
+		{"all-dimensions", Filter{Specs: []string{"int-alu"}, Threads: []int{2}, Placements: []string{"scatter"}}, solo, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.f.Match(tc.r); got != tc.want {
+				t.Errorf("Match = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestResultsAppliesFilter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.jsonl")
+	in := []harness.Result{
+		mkResult("int-alu", 1, "none"),
+		mkResult("int-alu", 2, "none"),
+		mkResult("chase-l1", 1, "none"),
+	}
+	if _, err := Append(path, in); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Results(recs, Filter{Specs: []string{"int-alu"}})
+	if len(got) != 2 {
+		t.Fatalf("filtered to %d results, want 2", len(got))
+	}
+	for _, r := range got {
+		if r.Spec != "int-alu" {
+			t.Errorf("filter leaked %q", r.Spec)
+		}
+	}
+}
