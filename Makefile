@@ -1,10 +1,10 @@
 # Targets mirror .github/workflows/ci.yml so local runs and CI stay in sync.
 
 GO ?= go
-COVER_PKGS := ./internal/stats/... ./internal/meter/... ./internal/model/... ./internal/store/...
+COVER_PKGS := ./internal/stats/... ./internal/meter/... ./internal/model/... ./internal/store/... ./internal/harness/...
 COVER_FLOOR := 70
 
-.PHONY: all build test lint cover fuzz clean
+.PHONY: all build test lint cover fuzz bench clean
 
 all: lint build test
 
@@ -30,6 +30,9 @@ cover:
 
 fuzz:
 	$(GO) test -fuzz=Fuzz -fuzztime=10s ./internal/bench
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/bench
 
 clean:
 	rm -rf bin cover.out

@@ -46,7 +46,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	switch args[0] {
 	case "list":
-		return cmdList(stdout)
+		return cmdList(args[1:], stdout, stderr)
 	case "run":
 		return cmdRun(ctx, args[1:], stdout, stderr)
 	case "store":
@@ -66,26 +66,37 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
-  energybench list                 print the benchmark catalog as JSON
+  energybench list [flags]         print the benchmark catalog as JSON; with
+                                   space flags, print the planned trial count instead
   energybench run [flags]          sweep the exploration space, print JSON results
   energybench store [flags]        append results to / inspect a JSONL result store
   energybench analyze [flags]      fit the linear power model over a store
   energybench compare [flags]      report co-run interference vs solo baselines
 
-run flags:
-  --meter=mock|rapl   energy backend (default mock; rapl needs /sys/class/powercap read access)
-  --mock-watts=N      constant power the mock meter models (default 42)
+space flags (run, and list for sizing a sweep):
   --specs=a,b         comma-separated spec names (default: full catalog)
   --corun=a+b,c+d     co-run pairs: each runs both specs concurrently,
                       --threads counts threads per spec
   --threads=1,2       comma-separated thread counts (default 1,2)
   --placement=p,q     comma-separated placements: none|compact|scatter (default none)
-  --reps=N            measured repetitions per configuration (default 3)
+  --reps=N            fixed repetitions per configuration (default 3)
+  --min-reps=N        adaptive: minimum measured repetitions (default: --reps)
+  --max-reps=N        adaptive: repetition hard cap; enables early stop when
+                      the energy CV reaches --cv-target (default: fixed reps)
+  --cv-target=F       energy-CV convergence target for early stop (default 0.05)
   --warmup=N          discarded warm-up repetitions (default 1)
   --iter-scale=F      scale every spec's default iteration count (default 1.0)
   --max-cv=F          CV threshold for outlier rejection, 0 disables (default 0.2)
-  --store=PATH        also append results to the JSONL store at PATH
-  --progress          log one line per configuration to stderr
+
+run flags:
+  --meter=mock|rapl   energy backend (default mock; rapl needs /sys/class/powercap read access)
+  --mock-watts=N      constant power the mock meter models (default 42)
+  --store=PATH        also append results to the JSONL store at PATH,
+                      flushed per configuration
+  --resume            skip trials whose configuration key the --store file
+                      already holds (logs the skip count)
+  --dry-run           print the planned trials as JSON and exit without running
+  --progress          log one line per completed trial to stderr
 
 store flags:
   --db=PATH           store file (required)
@@ -98,89 +109,175 @@ analyze / compare flags:
   --specs, --threads, --placement   filter the results used`)
 }
 
-func cmdList(stdout io.Writer) error {
-	return writeJSON(stdout, bench.Catalog())
+// spaceFlags registers the exploration-space flags shared by run and list,
+// returning a builder that assembles the Space after fs.Parse.
+func spaceFlags(fs *flag.FlagSet) func() (harness.Space, error) {
+	var (
+		specsFlag = fs.String("specs", "", "comma-separated spec names (default: full catalog)")
+		corunFlag = fs.String("corun", "", "comma-separated co-run pairs, each 'specA+specB'")
+		threads   = fs.String("threads", "1,2", "comma-separated thread counts")
+		placement = fs.String("placement", "none", "comma-separated placements: none|compact|scatter")
+		reps      = fs.Int("reps", 3, "fixed repetitions per configuration")
+		minReps   = fs.Int("min-reps", 0, "adaptive: minimum measured repetitions (0: use --reps)")
+		maxReps   = fs.Int("max-reps", 0, "adaptive: repetition hard cap (0: fixed at the minimum)")
+		cvTarget  = fs.Float64("cv-target", 0.05, "energy-CV convergence target for adaptive early stop")
+		warmup    = fs.Int("warmup", 1, "discarded warm-up repetitions")
+		iterScale = fs.Float64("iter-scale", 1.0, "scale factor applied to every spec's iteration count")
+		maxCV     = fs.Float64("max-cv", 0.2, "CV threshold for outlier rejection (0 disables)")
+	)
+	return func() (harness.Space, error) {
+		space := harness.Space{
+			Reps:      *reps,
+			MinReps:   *minReps,
+			MaxReps:   *maxReps,
+			CVTarget:  *cvTarget,
+			Warmup:    *warmup,
+			IterScale: *iterScale,
+			MaxCV:     *maxCV,
+		}
+		if *iterScale <= 0 {
+			return space, fmt.Errorf("--iter-scale must be positive, got %v", *iterScale)
+		}
+		if *specsFlag == "" && *corunFlag == "" {
+			space.Specs = bench.Catalog()
+		} else {
+			for _, name := range splitNonEmpty(*specsFlag) {
+				s, err := bench.Lookup(name)
+				if err != nil {
+					return space, err
+				}
+				space.Specs = append(space.Specs, s)
+			}
+		}
+		for _, pair := range splitNonEmpty(*corunFlag) {
+			nameA, nameB, ok := strings.Cut(pair, "+")
+			if !ok {
+				return space, fmt.Errorf("--corun: pair %q is not of the form specA+specB", pair)
+			}
+			a, err := bench.Lookup(strings.TrimSpace(nameA))
+			if err != nil {
+				return space, err
+			}
+			b, err := bench.Lookup(strings.TrimSpace(nameB))
+			if err != nil {
+				return space, err
+			}
+			space.Pairs = append(space.Pairs, harness.Pair{A: a, B: b})
+		}
+		var err error
+		if space.ThreadCounts, err = parseIntList(*threads); err != nil {
+			return space, fmt.Errorf("--threads: %w", err)
+		}
+		for _, p := range splitNonEmpty(*placement) {
+			pl, err := harness.ParsePlacement(p)
+			if err != nil {
+				return space, err
+			}
+			space.Placements = append(space.Placements, pl)
+		}
+		return space, nil
+	}
+}
+
+// planDoc sizes a planned sweep before it burns hours: the trial count and
+// the repetition bounds (plus warm-up work, which costs wall clock too).
+type planDoc struct {
+	Trials       int             `json:"trials"`
+	Skipped      int             `json:"skipped,omitempty"`
+	MinTotalReps int             `json:"min_total_reps"`
+	MaxTotalReps int             `json:"max_total_reps"`
+	WarmupReps   int             `json:"warmup_reps"`
+	Plan         []harness.Trial `json:"plan"`
+}
+
+func newPlanDoc(trials []harness.Trial, skipped int) planDoc {
+	doc := planDoc{Trials: len(trials), Skipped: skipped, Plan: trials}
+	for _, t := range trials {
+		doc.MinTotalReps += t.MinReps
+		doc.MaxTotalReps += t.MaxReps
+		doc.WarmupReps += t.Warmup
+	}
+	return doc
+}
+
+// cmdList prints the benchmark catalog; with any space flag set it instead
+// performs a planner dry-run and prints the estimated trial count, so users
+// can size a sweep without running it.
+func cmdList(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	buildSpace := spaceFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NFlag() == 0 {
+		return writeJSON(stdout, bench.Catalog())
+	}
+	space, err := buildSpace()
+	if err != nil {
+		return err
+	}
+	trials, err := harness.Plan(space)
+	if err != nil {
+		return err
+	}
+	return writeJSON(stdout, newPlanDoc(trials, 0))
 }
 
 func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	buildSpace := spaceFlags(fs)
 	var (
 		meterName = fs.String("meter", "mock", "energy backend: mock|rapl")
 		mockWatts = fs.Float64("mock-watts", 42, "constant power modeled by the mock meter")
-		specsFlag = fs.String("specs", "", "comma-separated spec names (default: full catalog)")
-		corunFlag = fs.String("corun", "", "comma-separated co-run pairs, each 'specA+specB'")
-		threads   = fs.String("threads", "1,2", "comma-separated thread counts")
-		placement = fs.String("placement", "none", "comma-separated placements: none|compact|scatter")
-		reps      = fs.Int("reps", 3, "measured repetitions per configuration")
-		warmup    = fs.Int("warmup", 1, "discarded warm-up repetitions")
-		iterScale = fs.Float64("iter-scale", 1.0, "scale factor applied to every spec's iteration count")
-		maxCV     = fs.Float64("max-cv", 0.2, "CV threshold for outlier rejection (0 disables)")
-		storePath = fs.String("store", "", "append results to the JSONL store at this path")
-		progress  = fs.Bool("progress", false, "log one line per configuration to stderr")
+		storePath = fs.String("store", "", "append results to the JSONL store at this path, flushed per configuration")
+		resume    = fs.Bool("resume", false, "skip trials already present in the --store file")
+		dryRun    = fs.Bool("dry-run", false, "print the planned trials as JSON without executing them")
+		progress  = fs.Bool("progress", false, "log one line per completed trial to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *iterScale <= 0 {
-		return fmt.Errorf("--iter-scale must be positive, got %v", *iterScale)
+	space, err := buildSpace()
+	if err != nil {
+		return err
+	}
+	switch *meterName {
+	case "mock", "rapl":
+	default:
+		return fmt.Errorf("unknown meter %q (want mock|rapl)", *meterName)
 	}
 
-	space := harness.Space{
-		Reps:      *reps,
-		Warmup:    *warmup,
-		IterScale: *iterScale,
-		MaxCV:     *maxCV,
+	trials, err := harness.Plan(space)
+	if err != nil {
+		return err
 	}
-
-	if *specsFlag == "" && *corunFlag == "" {
-		space.Specs = bench.Catalog()
-	} else {
-		for _, name := range splitNonEmpty(*specsFlag) {
-			s, err := bench.Lookup(name)
-			if err != nil {
-				return err
-			}
-			space.Specs = append(space.Specs, s)
+	skipped := 0
+	if *resume {
+		if *storePath == "" {
+			return fmt.Errorf("--resume requires --store")
 		}
-	}
-	for _, pair := range splitNonEmpty(*corunFlag) {
-		nameA, nameB, ok := strings.Cut(pair, "+")
-		if !ok {
-			return fmt.Errorf("--corun: pair %q is not of the form specA+specB", pair)
-		}
-		a, err := bench.Lookup(strings.TrimSpace(nameA))
+		// Trial keys only need the backend's name, so resume filtering (and
+		// its dry run) works without constructing the meter.
+		keys, err := store.Keys(*storePath)
 		if err != nil {
 			return err
 		}
-		b, err := bench.Lookup(strings.TrimSpace(nameB))
-		if err != nil {
-			return err
-		}
-		space.Pairs = append(space.Pairs, harness.Pair{A: a, B: b})
+		trials, skipped = harness.FilterTrials(trials, func(t harness.Trial) bool {
+			return keys[t.Key(*meterName)]
+		})
+		fmt.Fprintf(stderr, "resume: skipped %d already-stored trials, %d to run\n", skipped, len(trials))
 	}
-	var err error
-	if space.ThreadCounts, err = parseIntList(*threads); err != nil {
-		return fmt.Errorf("--threads: %w", err)
-	}
-	for _, p := range splitNonEmpty(*placement) {
-		pl, err := harness.ParsePlacement(p)
-		if err != nil {
-			return err
-		}
-		space.Placements = append(space.Placements, pl)
+	if *dryRun {
+		return writeJSON(stdout, newPlanDoc(trials, skipped))
 	}
 
 	var m meter.EnergyMeter
-	switch *meterName {
-	case "mock":
+	if *meterName == "mock" {
 		m = meter.NewMock(*mockWatts)
-	case "rapl":
-		if m, err = meter.NewRAPL(meter.DefaultPowercapRoot); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown meter %q (want mock|rapl)", *meterName)
+	} else if m, err = meter.NewRAPL(meter.DefaultPowercapRoot); err != nil {
+		return err
 	}
 
 	runner := &harness.Runner{Meter: m}
@@ -189,21 +286,26 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 			fmt.Fprintf(stderr, format+"\n", args...)
 		}
 	}
-	// On cancellation mid-sweep the harness still returns the completed
-	// configurations: store and emit them so a long interrupted sweep is
-	// resumable instead of losing everything, then surface the error.
-	results, runErr := runner.Run(ctx, space)
-	if len(results) > 0 {
-		if *storePath != "" {
-			n, err := store.Append(*storePath, results)
-			if err != nil {
-				return errors.Join(runErr, err)
-			}
-			fmt.Fprintf(stderr, "stored %d results in %s\n", n, *storePath)
-		}
-		if err := writeJSON(stdout, results); err != nil {
-			return errors.Join(runErr, err)
-		}
+
+	// Results stream through the sink pipeline as each trial completes: the
+	// JSON array on stdout stays well-formed even if the sweep is
+	// interrupted, and the store (when configured) has already flushed every
+	// finished configuration, so a SIGINT mid-sweep loses nothing. The
+	// store sink comes first — durability before presentation — so a
+	// stdout write failure can never drop a measured trial from the store.
+	var sinks harness.MultiSink
+	var storeSink *store.Sink
+	if *storePath != "" {
+		storeSink = store.NewSink(*storePath)
+		sinks = append(sinks, storeSink)
+	}
+	sinks = append(sinks, harness.NewJSONArraySink(stdout))
+	runErr := runner.RunPlan(ctx, trials, sinks)
+	if err := sinks.Close(); err != nil {
+		runErr = errors.Join(runErr, err)
+	}
+	if storeSink != nil && storeSink.Count() > 0 {
+		fmt.Fprintf(stderr, "stored %d results in %s\n", storeSink.Count(), *storePath)
 	}
 	return runErr
 }

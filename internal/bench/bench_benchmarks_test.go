@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkKernels runs every catalog kernel under the Go benchmark driver.
+// CI executes it with -benchtime=1x as a smoke test: a kernel that stops
+// compiling, panics on its workspace, or takes pathological time per
+// iteration fails the build long before a real sweep would. Iteration counts
+// are scaled down from the sweep defaults — the point is exercising each
+// kernel's measured loop, not measuring it accurately here.
+func BenchmarkKernels(b *testing.B) {
+	for _, spec := range Catalog() {
+		b.Run(spec.Name, func(b *testing.B) {
+			iters := spec.Iters / 100
+			if iters < 1 {
+				iters = 1
+			}
+			ws := NewWorkspace(spec, 1)
+			if spec.WorkingSet > 0 {
+				b.SetBytes(int64(spec.WorkingSet))
+			}
+			b.ResetTimer()
+			var acc uint64
+			for i := 0; i < b.N; i++ {
+				acc += spec.Kernel(ws, iters)
+			}
+			atomic.AddUint64(&Sink, acc)
+		})
+	}
+}

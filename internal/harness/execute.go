@@ -1,0 +1,242 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"energybench/internal/bench"
+	"energybench/internal/meter"
+	"energybench/internal/stats"
+)
+
+// Executor runs one planned trial and produces its aggregated result. The
+// in-process implementation below runs kernels on pinned OS threads of this
+// process; the interface exists so alternative backends (forked processes,
+// remote agents) can slot under the same planner and sinks.
+type Executor interface {
+	Execute(ctx context.Context, t Trial) (Result, error)
+}
+
+// InProcess executes trials on this process's own threads: per-thread
+// workspaces behind a start barrier, the meter read tightly around the
+// parallel section, and adaptive repetitions driven by the running CV of the
+// energy samples.
+type InProcess struct {
+	Meter meter.EnergyMeter
+	// pin overrides the thread-pinning syscall in tests; nil means the
+	// platform pinThread.
+	pin func(cpu int) error
+}
+
+func (e *InProcess) pinFunc() func(int) error {
+	if e.pin != nil {
+		return e.pin
+	}
+	return pinThread
+}
+
+// workUnit is one worker thread's assignment: which kernel to run on which
+// workspace, and which spec group (A=0, B=1) its wall time belongs to.
+type workUnit struct {
+	kernel bench.Kernel
+	ws     *bench.Workspace
+	iters  int
+	group  int
+}
+
+func scaleIters(iters int, scale float64) int {
+	if scale > 0 {
+		iters = int(float64(iters) * scale)
+		if iters < 1 {
+			iters = 1
+		}
+	}
+	return iters
+}
+
+// Execute runs the trial's warm-up and measured repetitions. After MinReps
+// measured repetitions it stops early once the running CV of the energy
+// samples reaches CVTarget (the paper's repeat-until-stable criterion);
+// MaxReps is the hard cap for configurations that never settle.
+func (e *InProcess) Execute(ctx context.Context, t Trial) (Result, error) {
+	res := Result{
+		Spec:      t.Spec.Name,
+		Component: t.Spec.Component,
+		Threads:   t.Threads,
+		Iters:     t.Iters,
+		Placement: t.Placement,
+		Meter:     e.Meter.Name(),
+	}
+	for _, d := range e.Meter.Domains() {
+		res.Domains = append(res.Domains, d.Name)
+	}
+
+	// Per-thread workspaces, distinct seeds so chase cycles differ and
+	// threads never share buffers. Co-run units are interleaved A,B,A,B…
+	// so compact placement lands each A/B pair on SMT siblings of one core
+	// and scatter lands them on distinct physical cores.
+	var units []workUnit
+	seed := func(i int) uint64 { return uint64(i)*0x9e3779b9 + 12345 }
+	if t.SpecB == nil {
+		for i := 0; i < t.Threads; i++ {
+			units = append(units, workUnit{t.Spec.Kernel, bench.NewWorkspace(t.Spec, seed(i)), t.Iters, 0})
+		}
+	} else {
+		res.SpecB = t.SpecB.Name
+		res.ComponentB = t.SpecB.Component
+		res.ThreadsB = t.Threads
+		res.ItersB = t.ItersB
+		for i := 0; i < t.Threads; i++ {
+			units = append(units,
+				workUnit{t.Spec.Kernel, bench.NewWorkspace(t.Spec, seed(2*i)), t.Iters, 0},
+				workUnit{t.SpecB.Kernel, bench.NewWorkspace(*t.SpecB, seed(2*i+1)), t.ItersB, 1})
+		}
+	}
+	cpus := cpuAssignment(t.Placement, len(units))
+
+	var conv stats.Accumulator
+	for rep := 0; rep < t.Warmup+t.MaxReps; rep++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		sample, err := e.runOnce(units, cpus, t.SpecB != nil)
+		if err != nil {
+			return res, err
+		}
+		if rep < t.Warmup {
+			continue
+		}
+		res.Samples = append(res.Samples, sample)
+		conv.Push(sample.EnergyJ)
+		// Converged means the CV target genuinely cut reps short: at the
+		// cap (which includes every fixed-rep run, where min == max) the
+		// loop is ending anyway and the label would be noise.
+		if len(res.Samples) < t.MaxReps && conv.Converged(t.CVTarget, t.MinReps) {
+			res.Converged = true
+			break
+		}
+	}
+
+	n := len(res.Samples)
+	energies := make([]float64, n)
+	times := make([]float64, n)
+	powers := make([]float64, n)
+	timesA := make([]float64, n)
+	timesB := make([]float64, n)
+	for i, s := range res.Samples {
+		energies[i], times[i], powers[i] = s.EnergyJ, s.TimeS, s.PowerW
+		timesA[i], timesB[i] = s.TimeAS, s.TimeBS
+	}
+	summarize := func(xs []float64) stats.Summary {
+		if t.MaxCV > 0 {
+			return stats.SummarizeRobust(xs, t.MaxCV, 2)
+		}
+		return stats.Summarize(xs)
+	}
+	res.EnergyJ = summarize(energies)
+	res.TimeS = summarize(times)
+	res.PowerW = summarize(powers)
+	if t.SpecB != nil {
+		ta, tb := summarize(timesA), summarize(timesB)
+		res.TimeA, res.TimeB = &ta, &tb
+	}
+	res.EDP = res.EnergyJ.Mean * res.TimeS.Mean
+	res.EDDP = res.EDP * res.TimeS.Mean
+	return res, nil
+}
+
+// runOnce executes one repetition: all threads start together behind a
+// barrier, the meter is read immediately around the parallel section, and
+// the sample is energy delta over wall time of the slowest thread. Each
+// thread's own wall time is recorded so co-runs can report per-spec times.
+func (e *InProcess) runOnce(units []workUnit, cpus []int, corun bool) (Sample, error) {
+	threads := len(units)
+	start := make(chan struct{})
+	abort := make(chan struct{})
+	var ready, done sync.WaitGroup
+	ready.Add(threads)
+	done.Add(threads)
+	var pinErr atomic.Value
+	var sink uint64
+	var t0 time.Time
+	elapsedPer := make([]float64, threads)
+	pin := e.pinFunc()
+
+	for t := 0; t < threads; t++ {
+		go func(t int) {
+			defer done.Done()
+			if cpus != nil {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+				if err := pin(cpus[t]); err != nil {
+					pinErr.Store(err)
+				}
+			}
+			ready.Done()
+			select {
+			case <-start:
+			case <-abort:
+				return
+			}
+			u := units[t]
+			v := u.kernel(u.ws, u.iters)
+			// t0 is written before close(start), so reading it here is
+			// ordered by the channel close.
+			elapsedPer[t] = time.Since(t0).Seconds()
+			atomic.AddUint64(&sink, v)
+		}(t)
+	}
+	ready.Wait()
+	before, err := e.Meter.Read()
+	if err != nil {
+		// Release the parked workers (which hold locked OS threads) before
+		// surfacing the error.
+		close(abort)
+		done.Wait()
+		return Sample{}, err
+	}
+	t0 = time.Now()
+	close(start)
+	done.Wait()
+	elapsed := time.Since(t0).Seconds()
+	after, readErr := e.Meter.Read()
+	atomic.AddUint64(&bench.Sink, sink)
+	// A pin failure invalidates the placement and must not be masked by a
+	// meter error on the closing read (or vice versa): join both.
+	var errs []error
+	if p := pinErr.Load(); p != nil {
+		errs = append(errs, p.(error))
+	}
+	if readErr != nil {
+		errs = append(errs, readErr)
+	}
+	if len(errs) > 0 {
+		return Sample{}, errors.Join(errs...)
+	}
+	domainJ, err := meter.DeltaPerDomain(e.Meter, before, after)
+	if err != nil {
+		return Sample{}, err
+	}
+	var energy float64
+	for _, j := range domainJ {
+		energy += j
+	}
+	s := Sample{EnergyJ: energy, TimeS: elapsed, DomainJ: domainJ}
+	if elapsed > 0 {
+		s.PowerW = energy / elapsed
+	}
+	if corun {
+		for t, u := range units {
+			if u.group == 0 {
+				s.TimeAS = max(s.TimeAS, elapsedPer[t])
+			} else {
+				s.TimeBS = max(s.TimeBS, elapsedPer[t])
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"context"
+	"testing"
+
+	"energybench/internal/meter"
+)
+
+// scriptedMeter returns counter values from a caller-provided function of
+// the read index, so tests control the exact energy delta of every
+// repetition (the executor reads the meter twice per rep: before and after).
+type scriptedMeter struct {
+	reads   int
+	counter func(read int) uint64
+}
+
+func (m *scriptedMeter) Name() string            { return "scripted" }
+func (m *scriptedMeter) Domains() []meter.Domain { return []meter.Domain{{Name: "scripted-0"}} }
+func (m *scriptedMeter) Read() (meter.Reading, error) {
+	v := m.counter(m.reads)
+	m.reads++
+	return meter.Reading{Counters: []uint64{v}}, nil
+}
+
+// constantDeltaCounter yields exactly deltaMicroJ between the before/after
+// reads of every repetition and nothing in between.
+func constantDeltaCounter(deltaMicroJ uint64) func(int) uint64 {
+	return func(read int) uint64 { return deltaMicroJ * uint64((read+1)/2) }
+}
+
+// sampleSequenceCounter yields the given per-repetition energy deltas in
+// order (repeating the last one), with no energy between repetitions.
+func sampleSequenceCounter(deltasMicroJ []uint64) func(int) uint64 {
+	return func(read int) uint64 {
+		rep := read / 2
+		var sum uint64
+		for i := 0; i < rep && i < len(deltasMicroJ); i++ {
+			sum += deltasMicroJ[i]
+		}
+		if rep >= len(deltasMicroJ) {
+			sum += deltasMicroJ[len(deltasMicroJ)-1] * uint64(rep-len(deltasMicroJ)+1)
+		}
+		if read%2 == 1 {
+			if rep < len(deltasMicroJ) {
+				sum += deltasMicroJ[rep]
+			} else {
+				sum += deltasMicroJ[len(deltasMicroJ)-1]
+			}
+		}
+		return sum
+	}
+}
+
+func adaptiveSpace(t *testing.T) Space {
+	s := tinySpace(t)
+	s.Specs = s.Specs[:1]
+	s.ThreadCounts = []int{1}
+	s.Warmup = 1
+	s.Reps = 0
+	s.MinReps = 3
+	s.MaxReps = 10
+	s.CVTarget = 0.05
+	return s
+}
+
+// TestAdaptiveRepsStopEarlyOnStableConfig is the acceptance-criteria test:
+// with a low-variance (here: perfectly constant) energy source, adaptive
+// repetitions must stop at the minimum rep count, well under --max-reps.
+func TestAdaptiveRepsStopEarlyOnStableConfig(t *testing.T) {
+	m := &scriptedMeter{counter: constantDeltaCounter(1000)}
+	r := &Runner{Meter: m}
+	results, err := r.Run(context.Background(), adaptiveSpace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results[0]
+	if len(res.Samples) != 3 {
+		t.Errorf("executed %d reps, want exactly MinReps=3 for a zero-CV config (MaxReps=10)", len(res.Samples))
+	}
+	if !res.Converged {
+		t.Error("result not marked converged")
+	}
+	if res.EnergyJ.CV > 0.05 {
+		t.Errorf("energy CV = %v, want ≤ target 0.05", res.EnergyJ.CV)
+	}
+}
+
+// TestAdaptiveRepsRunToCapOnNoisyConfig is the dual: an energy source whose
+// CV never reaches the target must run all the way to MaxReps and not be
+// marked converged.
+func TestAdaptiveRepsRunToCapOnNoisyConfig(t *testing.T) {
+	// Period-3 cycle keeps the sample CV ~0.9 forever.
+	m := &scriptedMeter{counter: sampleSequenceCounter([]uint64{100, 100, 10000, 100, 100, 10000, 100, 100, 10000, 100, 100, 10000})}
+	r := &Runner{Meter: m}
+	space := adaptiveSpace(t)
+	space.MaxCV = 0 // keep every sample so the count is exact
+	results, err := r.Run(context.Background(), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results[0]
+	if len(res.Samples) != 10 {
+		t.Errorf("executed %d reps, want the MaxReps cap of 10", len(res.Samples))
+	}
+	if res.Converged {
+		t.Error("noisy config marked converged")
+	}
+}
+
+// TestFixedRepsUnchanged pins the legacy behavior: with the Reps shorthand
+// exactly Reps repetitions run, and even a zero-CV config is not labeled
+// converged — nothing stopped early.
+func TestFixedRepsUnchanged(t *testing.T) {
+	m := &scriptedMeter{counter: constantDeltaCounter(1000)}
+	r := &Runner{Meter: m}
+	space := tinySpace(t)
+	space.Specs = space.Specs[:1]
+	space.ThreadCounts = []int{1}
+	space.CVTarget = 0.05 // the CLI default; must be inert when min == max reps
+	results, err := r.Run(context.Background(), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(results[0].Samples); n != 3 {
+		t.Errorf("fixed-rep run executed %d reps, want 3", n)
+	}
+	if results[0].Converged {
+		t.Error("fixed-rep run marked converged despite no early stop")
+	}
+}

@@ -1,18 +1,16 @@
-// Package harness expands an exploration space (benchmark specs × thread
-// counts × placements), executes each configuration with warm-up and
-// repetitions, and aggregates energy/time/power/EDP with internal/stats.
-// Configurations can also pair two heterogeneous specs (co-runs) to measure
-// SMT/CMP interference, the core scenario of the MICRO 2012 methodology.
+// Package harness explores a benchmark space through three layers connected
+// by small interfaces: a planner that expands a Space into an explicit
+// ordered []Trial (plan.go), an Executor that runs one trial at a time with
+// warm-up, pinning, metering, and adaptive repetitions (execute.go), and a
+// ResultSink pipeline that streams each completed configuration out as it
+// finishes (sink.go). Configurations can pair two heterogeneous specs
+// (co-runs) to measure SMT/CMP interference, the core scenario of the
+// MICRO 2012 methodology.
 package harness
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
-	"time"
 
 	"energybench/internal/bench"
 	"energybench/internal/meter"
@@ -28,19 +26,42 @@ type Pair struct {
 }
 
 // Space is the exploration space to sweep: the cartesian product of
-// (Specs ∪ Pairs), ThreadCounts, and Placements, each run Warmup+Reps times.
-// For a Pair, a thread count of n means n threads of each spec (2n total).
+// (Specs ∪ Pairs), ThreadCounts, and Placements. For a Pair, a thread count
+// of n means n threads of each spec (2n total).
+//
+// Each configuration runs Warmup discarded repetitions, then at least
+// MinReps measured ones, stopping early once the running CV of the energy
+// samples falls to CVTarget (if positive), and never exceeding MaxReps.
+// Reps is the fixed-budget shorthand: when MinReps/MaxReps are zero it
+// stands in for both, preserving the original fixed-repetition behavior.
 type Space struct {
 	Specs        []bench.Spec
 	Pairs        []Pair
 	ThreadCounts []int
 	Placements   []Placement
-	Reps         int // measured repetitions per configuration
-	Warmup       int // discarded warm-up repetitions per configuration
+	Reps         int     // fixed repetitions; shorthand for MinReps = MaxReps = Reps
+	MinReps      int     // minimum measured repetitions (0: fall back to Reps)
+	MaxReps      int     // repetition hard cap (0: fall back to MinReps)
+	CVTarget     float64 // energy-CV convergence target for early stop; 0 disables
+	Warmup       int     // discarded warm-up repetitions per configuration
 	IterScale    float64
 	// MaxCV is the coefficient-of-variation threshold for outlier
 	// rejection over the energy samples; 0 disables rejection.
 	MaxCV float64
+}
+
+// repBounds resolves the Reps/MinReps/MaxReps shorthand into the effective
+// (min, max) repetition budget.
+func (s Space) repBounds() (minReps, maxReps int) {
+	minReps = s.MinReps
+	if minReps == 0 {
+		minReps = s.Reps
+	}
+	maxReps = s.MaxReps
+	if maxReps == 0 {
+		maxReps = minReps
+	}
+	return minReps, maxReps
 }
 
 // Validate checks the space is runnable.
@@ -72,8 +93,15 @@ func (s Space) Validate() error {
 	if len(s.Placements) == 0 {
 		return fmt.Errorf("harness: space has no placements")
 	}
-	if s.Reps <= 0 {
-		return fmt.Errorf("harness: reps must be positive, got %d", s.Reps)
+	minReps, maxReps := s.repBounds()
+	if minReps <= 0 {
+		return fmt.Errorf("harness: min reps must be positive, got %d", minReps)
+	}
+	if maxReps < minReps {
+		return fmt.Errorf("harness: max reps %d below min reps %d", maxReps, minReps)
+	}
+	if s.CVTarget < 0 {
+		return fmt.Errorf("harness: cv target must be non-negative, got %v", s.CVTarget)
 	}
 	if s.Warmup < 0 {
 		return fmt.Errorf("harness: warmup must be non-negative, got %d", s.Warmup)
@@ -112,10 +140,13 @@ type Result struct {
 	Placement  Placement       `json:"placement"`
 	Meter      string          `json:"meter"`
 	Domains    []string        `json:"domains,omitempty"`
-	Samples    []Sample        `json:"samples"`
-	EnergyJ    stats.Summary   `json:"energy_j_summary"`
-	TimeS      stats.Summary   `json:"time_s_summary"`
-	PowerW     stats.Summary   `json:"power_w_summary"`
+	// Converged is set when adaptive repetitions stopped early because the
+	// energy CV reached the trial's target before the rep cap.
+	Converged bool          `json:"converged,omitempty"`
+	Samples   []Sample      `json:"samples"`
+	EnergyJ   stats.Summary `json:"energy_j_summary"`
+	TimeS     stats.Summary `json:"time_s_summary"`
+	PowerW    stats.Summary `json:"power_w_summary"`
 	// TimeA/TimeB summarize per-spec wall times; only set for co-runs.
 	TimeA *stats.Summary `json:"time_a_s_summary,omitempty"`
 	TimeB *stats.Summary `json:"time_b_s_summary,omitempty"`
@@ -126,268 +157,83 @@ type Result struct {
 // IsCoRun reports whether the result measured two specs sharing the machine.
 func (r Result) IsCoRun() bool { return r.SpecB != "" }
 
-// Runner executes a Space against an EnergyMeter.
+// Runner orchestrates the pipeline: plan a Space, execute each trial, and
+// stream results through sinks.
 type Runner struct {
+	// Meter backs the default in-process executor; ignored when Executor is
+	// set explicitly.
 	Meter meter.EnergyMeter
-	// Log, when non-nil, receives one progress line per configuration.
+	// Executor runs trials; nil means an InProcess executor over Meter.
+	Executor Executor
+	// Log, when non-nil, receives one progress line per completed trial.
 	Log func(format string, args ...any)
 	// pin overrides the thread-pinning syscall in tests; nil means the
-	// platform pinThread.
+	// platform pinThread. Forwarded to the default in-process executor.
 	pin func(cpu int) error
 }
 
-func (r *Runner) pinFunc() func(int) error {
-	if r.pin != nil {
-		return r.pin
-	}
-	return pinThread
-}
-
-// Run sweeps the whole exploration space. Configurations run strictly
-// sequentially — concurrent configurations would share the package-level
-// energy counters and corrupt each other's deltas. On context cancellation
-// the results accumulated so far are returned alongside the context error,
-// so long sweeps are resumable via the store.
-func (r *Runner) Run(ctx context.Context, space Space) ([]Result, error) {
-	if err := space.Validate(); err != nil {
-		return nil, err
+func (r *Runner) executor() (Executor, error) {
+	if r.Executor != nil {
+		return r.Executor, nil
 	}
 	if r.Meter == nil {
 		return nil, fmt.Errorf("harness: no meter configured")
 	}
-	var results []Result
-	runOne := func(specA bench.Spec, specB *bench.Spec, threads int, placement Placement) error {
+	return &InProcess{Meter: r.Meter, pin: r.pin}, nil
+}
+
+// Run plans and sweeps the whole exploration space, collecting the results
+// in memory. On context cancellation the results accumulated so far are
+// returned alongside the context error. Callers that want streaming (store
+// flushes per trial, partial JSON output) should use RunPlan with explicit
+// sinks instead.
+func (r *Runner) Run(ctx context.Context, space Space) ([]Result, error) {
+	trials, err := Plan(space)
+	if err != nil {
+		return nil, err
+	}
+	var c Collector
+	err = r.RunPlan(ctx, trials, &c)
+	return c.Results, err
+}
+
+// RunPlan executes the trials strictly sequentially — concurrent trials
+// would share the machine's energy counters and corrupt each other's deltas
+// — streaming each completed result into sink before the next trial starts,
+// so an interrupted sweep loses nothing that finished. The caller owns
+// closing the sink. A nil sink discards results.
+func (r *Runner) RunPlan(ctx context.Context, trials []Trial, sink ResultSink) error {
+	exec, err := r.executor()
+	if err != nil {
+		return err
+	}
+	if sink == nil {
+		sink = SinkFunc(func(Result) error { return nil })
+	}
+	for i, t := range trials {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		res, err := r.runConfig(ctx, space, specA, specB, threads, placement)
+		res, err := exec.Execute(ctx, t)
 		if err != nil {
-			name := specA.Name
-			if specB != nil {
-				name += "+" + specB.Name
-			}
-			return fmt.Errorf("harness: %s/t%d/%s: %w", name, threads, placement, err)
+			return fmt.Errorf("harness: %s/t%d/%s: %w", t.Name(), t.Threads, t.Placement, err)
 		}
-		results = append(results, res)
+		if err := sink.Consume(res); err != nil {
+			return fmt.Errorf("harness: sink: %w", err)
+		}
 		if r.Log != nil {
 			label := res.Spec
 			if res.IsCoRun() {
 				label += "+" + res.SpecB
 			}
-			r.Log("%-20s threads=%d placement=%-7s E=%.3fJ t=%.4fs P=%.2fW EDP=%.4f",
-				label, res.Threads, res.Placement,
+			conv := ""
+			if res.Converged {
+				conv = " (converged)"
+			}
+			r.Log("[%d/%d] %-20s threads=%d placement=%-7s reps=%d%s E=%.3fJ t=%.4fs P=%.2fW EDP=%.4f",
+				i+1, len(trials), label, res.Threads, res.Placement, len(res.Samples), conv,
 				res.EnergyJ.Mean, res.TimeS.Mean, res.PowerW.Mean, res.EDP)
 		}
-		return nil
 	}
-	for _, spec := range space.Specs {
-		for _, threads := range space.ThreadCounts {
-			for _, placement := range space.Placements {
-				if err := runOne(spec, nil, threads, placement); err != nil {
-					return results, err
-				}
-			}
-		}
-	}
-	for _, pair := range space.Pairs {
-		pair := pair
-		for _, threads := range space.ThreadCounts {
-			for _, placement := range space.Placements {
-				if err := runOne(pair.A, &pair.B, threads, placement); err != nil {
-					return results, err
-				}
-			}
-		}
-	}
-	return results, nil
-}
-
-// workUnit is one worker thread's assignment: which kernel to run on which
-// workspace, and which spec group (A=0, B=1) its wall time belongs to.
-type workUnit struct {
-	kernel bench.Kernel
-	ws     *bench.Workspace
-	iters  int
-	group  int
-}
-
-func scaleIters(iters int, scale float64) int {
-	if scale > 0 {
-		iters = int(float64(iters) * scale)
-		if iters < 1 {
-			iters = 1
-		}
-	}
-	return iters
-}
-
-func (r *Runner) runConfig(ctx context.Context, space Space, specA bench.Spec, specB *bench.Spec, threads int, placement Placement) (Result, error) {
-	itersA := scaleIters(specA.Iters, space.IterScale)
-	res := Result{
-		Spec:      specA.Name,
-		Component: specA.Component,
-		Threads:   threads,
-		Iters:     itersA,
-		Placement: placement,
-		Meter:     r.Meter.Name(),
-	}
-	for _, d := range r.Meter.Domains() {
-		res.Domains = append(res.Domains, d.Name)
-	}
-
-	// Per-thread workspaces, distinct seeds so chase cycles differ and
-	// threads never share buffers. Co-run units are interleaved A,B,A,B…
-	// so compact placement lands each A/B pair on SMT siblings of one core
-	// and scatter lands them on distinct physical cores.
-	var units []workUnit
-	seed := func(i int) uint64 { return uint64(i)*0x9e3779b9 + 12345 }
-	if specB == nil {
-		for i := 0; i < threads; i++ {
-			units = append(units, workUnit{specA.Kernel, bench.NewWorkspace(specA, seed(i)), itersA, 0})
-		}
-	} else {
-		itersB := scaleIters(specB.Iters, space.IterScale)
-		res.SpecB = specB.Name
-		res.ComponentB = specB.Component
-		res.ThreadsB = threads
-		res.ItersB = itersB
-		for i := 0; i < threads; i++ {
-			units = append(units,
-				workUnit{specA.Kernel, bench.NewWorkspace(specA, seed(2*i)), itersA, 0},
-				workUnit{specB.Kernel, bench.NewWorkspace(*specB, seed(2*i+1)), itersB, 1})
-		}
-	}
-	cpus := cpuAssignment(placement, len(units))
-
-	for rep := 0; rep < space.Warmup+space.Reps; rep++ {
-		if err := ctx.Err(); err != nil {
-			return res, err
-		}
-		sample, err := r.runOnce(units, cpus, specB != nil)
-		if err != nil {
-			return res, err
-		}
-		if rep >= space.Warmup {
-			res.Samples = append(res.Samples, sample)
-		}
-	}
-
-	n := len(res.Samples)
-	energies := make([]float64, n)
-	times := make([]float64, n)
-	powers := make([]float64, n)
-	timesA := make([]float64, n)
-	timesB := make([]float64, n)
-	for i, s := range res.Samples {
-		energies[i], times[i], powers[i] = s.EnergyJ, s.TimeS, s.PowerW
-		timesA[i], timesB[i] = s.TimeAS, s.TimeBS
-	}
-	summarize := func(xs []float64) stats.Summary {
-		if space.MaxCV > 0 {
-			return stats.SummarizeRobust(xs, space.MaxCV, 2)
-		}
-		return stats.Summarize(xs)
-	}
-	res.EnergyJ = summarize(energies)
-	res.TimeS = summarize(times)
-	res.PowerW = summarize(powers)
-	if specB != nil {
-		ta, tb := summarize(timesA), summarize(timesB)
-		res.TimeA, res.TimeB = &ta, &tb
-	}
-	res.EDP = res.EnergyJ.Mean * res.TimeS.Mean
-	res.EDDP = res.EDP * res.TimeS.Mean
-	return res, nil
-}
-
-// runOnce executes one repetition: all threads start together behind a
-// barrier, the meter is read immediately around the parallel section, and
-// the sample is energy delta over wall time of the slowest thread. Each
-// thread's own wall time is recorded so co-runs can report per-spec times.
-func (r *Runner) runOnce(units []workUnit, cpus []int, corun bool) (Sample, error) {
-	threads := len(units)
-	start := make(chan struct{})
-	abort := make(chan struct{})
-	var ready, done sync.WaitGroup
-	ready.Add(threads)
-	done.Add(threads)
-	var pinErr atomic.Value
-	var sink uint64
-	var t0 time.Time
-	elapsedPer := make([]float64, threads)
-	pin := r.pinFunc()
-
-	for t := 0; t < threads; t++ {
-		go func(t int) {
-			defer done.Done()
-			if cpus != nil {
-				runtime.LockOSThread()
-				defer runtime.UnlockOSThread()
-				if err := pin(cpus[t]); err != nil {
-					pinErr.Store(err)
-				}
-			}
-			ready.Done()
-			select {
-			case <-start:
-			case <-abort:
-				return
-			}
-			u := units[t]
-			v := u.kernel(u.ws, u.iters)
-			// t0 is written before close(start), so reading it here is
-			// ordered by the channel close.
-			elapsedPer[t] = time.Since(t0).Seconds()
-			atomic.AddUint64(&sink, v)
-		}(t)
-	}
-	ready.Wait()
-	before, err := r.Meter.Read()
-	if err != nil {
-		// Release the parked workers (which hold locked OS threads) before
-		// surfacing the error.
-		close(abort)
-		done.Wait()
-		return Sample{}, err
-	}
-	t0 = time.Now()
-	close(start)
-	done.Wait()
-	elapsed := time.Since(t0).Seconds()
-	after, readErr := r.Meter.Read()
-	atomic.AddUint64(&bench.Sink, sink)
-	// A pin failure invalidates the placement and must not be masked by a
-	// meter error on the closing read (or vice versa): join both.
-	var errs []error
-	if e := pinErr.Load(); e != nil {
-		errs = append(errs, e.(error))
-	}
-	if readErr != nil {
-		errs = append(errs, readErr)
-	}
-	if len(errs) > 0 {
-		return Sample{}, errors.Join(errs...)
-	}
-	domainJ, err := meter.DeltaPerDomain(r.Meter, before, after)
-	if err != nil {
-		return Sample{}, err
-	}
-	var energy float64
-	for _, j := range domainJ {
-		energy += j
-	}
-	s := Sample{EnergyJ: energy, TimeS: elapsed, DomainJ: domainJ}
-	if elapsed > 0 {
-		s.PowerW = energy / elapsed
-	}
-	if corun {
-		for t, u := range units {
-			if u.group == 0 {
-				s.TimeAS = max(s.TimeAS, elapsedPer[t])
-			} else {
-				s.TimeBS = max(s.TimeBS, elapsedPer[t])
-			}
-		}
-	}
-	return s, nil
+	return nil
 }

@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAssignFromGroupsTable covers compact vs scatter ordering on symmetric
+// and asymmetric topologies (odd core counts, uneven SMT sibling counts) and
+// oversubscription (threads > logical CPUs wraps around).
+func TestAssignFromGroupsTable(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Placement
+		n       int
+		cores   [][]int
+		want    []int
+		comment string
+	}{
+		{
+			name: "compact-2x2", p: PlaceCompact, n: 4,
+			cores: [][]int{{0, 2}, {1, 3}},
+			want:  []int{0, 2, 1, 3},
+		},
+		{
+			name: "scatter-2x2", p: PlaceScatter, n: 4,
+			cores: [][]int{{0, 2}, {1, 3}},
+			want:  []int{0, 1, 2, 3},
+		},
+		{
+			name: "compact-asymmetric-siblings", p: PlaceCompact, n: 6,
+			cores: [][]int{{0, 1}, {2}, {3, 4, 5}},
+			want:  []int{0, 1, 2, 3, 4, 5},
+		},
+		{
+			// Scatter walks sibling ranks: rank 0 of each core (0,2,3),
+			// then rank 1 of the cores that have one (1,4), then rank 2 (5).
+			name: "scatter-asymmetric-siblings", p: PlaceScatter, n: 6,
+			cores: [][]int{{0, 1}, {2}, {3, 4, 5}},
+			want:  []int{0, 2, 3, 1, 4, 5},
+		},
+		{
+			name: "compact-odd-core-count", p: PlaceCompact, n: 3,
+			cores: [][]int{{0, 3}, {1, 4}, {2, 5}},
+			want:  []int{0, 3, 1},
+		},
+		{
+			name: "scatter-odd-core-count", p: PlaceScatter, n: 3,
+			cores: [][]int{{0, 3}, {1, 4}, {2, 5}},
+			want:  []int{0, 1, 2},
+		},
+		{
+			// 5 threads on 3 logical CPUs: assignment wraps round-robin.
+			name: "compact-oversubscribed", p: PlaceCompact, n: 5,
+			cores: [][]int{{0, 1}, {2}},
+			want:  []int{0, 1, 2, 0, 1},
+		},
+		{
+			name: "scatter-oversubscribed", p: PlaceScatter, n: 7,
+			cores: [][]int{{0, 1}, {2}},
+			want:  []int{0, 2, 1, 0, 2, 1, 0},
+		},
+		{
+			name: "single-core-many-threads", p: PlaceScatter, n: 3,
+			cores: [][]int{{0}},
+			want:  []int{0, 0, 0},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := assignFromGroups(tc.p, tc.n, tc.cores)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("assignFromGroups(%s, %d, %v) = %v, want %v",
+					tc.p, tc.n, tc.cores, got, tc.want)
+			}
+		})
+	}
+}
+
+// coreOf maps a logical CPU back to its physical-core index in cores.
+func coreOf(t *testing.T, cores [][]int, cpu int) int {
+	t.Helper()
+	for i, siblings := range cores {
+		for _, c := range siblings {
+			if c == cpu {
+				return i
+			}
+		}
+	}
+	t.Fatalf("cpu %d not in topology %v", cpu, cores)
+	return -1
+}
+
+// TestCoRunInterleavedPlacement pins the co-run placement semantics: work
+// units are interleaved A,B,A,B…, so under compact each A/B pair must land
+// on SMT siblings of the same physical core (sharing the core is the
+// interference scenario), while under scatter each A/B pair must land on
+// distinct physical cores.
+func TestCoRunInterleavedPlacement(t *testing.T) {
+	cores := [][]int{{0, 4}, {1, 5}, {2, 6}, {3, 7}}
+	const pairs = 4 // 4 A-threads + 4 B-threads, exactly filling the machine
+
+	compact := assignFromGroups(PlaceCompact, 2*pairs, cores)
+	for i := 0; i < pairs; i++ {
+		a, b := compact[2*i], compact[2*i+1] // unit order is A,B,A,B…
+		if coreOf(t, cores, a) != coreOf(t, cores, b) {
+			t.Errorf("compact pair %d: A on cpu%d, B on cpu%d — want SMT siblings of one core", i, a, b)
+		}
+	}
+
+	scatter := assignFromGroups(PlaceScatter, 2*pairs, cores)
+	for i := 0; i < pairs; i++ {
+		a, b := scatter[2*i], scatter[2*i+1]
+		if coreOf(t, cores, a) == coreOf(t, cores, b) {
+			t.Errorf("scatter pair %d: A and B both on core %d — want distinct physical cores", i, coreOf(t, cores, a))
+		}
+	}
+}

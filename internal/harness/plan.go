@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"fmt"
+
+	"energybench/internal/bench"
+)
+
+// Trial is one planned configuration: a first-class, serializable unit of
+// work carrying everything an Executor needs — the spec(s), thread count,
+// placement, scaled iteration counts, and the repetition budget. The planner
+// expands a Space into an ordered []Trial; executors run them one at a time;
+// sinks consume the results. Keeping trials explicit is what makes sweeps
+// resumable (skip trials whose key is already stored) and sizable up front
+// (dry runs print the plan without executing it).
+type Trial struct {
+	// Seq is the trial's position in the full plan (0-based). It survives
+	// resume filtering unchanged, so dry-run output and stored results
+	// remain traceable back to the original plan; progress lines count
+	// executed trials separately.
+	Seq  int        `json:"seq"`
+	Spec bench.Spec `json:"spec"`
+	// SpecB, when non-nil, makes this a co-run trial: Threads threads of
+	// Spec and Threads threads of SpecB share the machine.
+	SpecB     *bench.Spec `json:"spec_b,omitempty"`
+	Threads   int         `json:"threads"`
+	Placement Placement   `json:"placement"`
+	// Iters/ItersB are the per-repetition iteration counts after IterScale.
+	Iters  int `json:"iters"`
+	ItersB int `json:"iters_b,omitempty"`
+	// Repetition budget: Warmup discarded reps, then at least MinReps
+	// measured reps, stopping early once the energy CV falls to CVTarget
+	// (if positive), and never exceeding MaxReps.
+	Warmup   int     `json:"warmup"`
+	MinReps  int     `json:"min_reps"`
+	MaxReps  int     `json:"max_reps"`
+	CVTarget float64 `json:"cv_target,omitempty"`
+	// MaxCV is the outlier-rejection threshold applied when summarizing
+	// samples; 0 disables rejection.
+	MaxCV float64 `json:"max_cv,omitempty"`
+}
+
+// Name labels the trial for logs and errors: "specA" or "specA+specB".
+func (t Trial) Name() string {
+	if t.SpecB != nil {
+		return t.Spec.Name + "+" + t.SpecB.Name
+	}
+	return t.Spec.Name
+}
+
+// IsCoRun reports whether the trial pairs two specs.
+func (t Trial) IsCoRun() bool { return t.SpecB != nil }
+
+// configKey is the canonical configuration identity shared by trials and
+// results. Iteration counts are part of the identity because energy totals
+// are only comparable at equal work.
+func configKey(spec, specB string, threads, threadsB int, placement Placement, meterName string, iters, itersB int) string {
+	return fmt.Sprintf("%s|%s|t%d+%d|%s|%s|i%d+%d",
+		spec, specB, threads, threadsB, placement, meterName, iters, itersB)
+}
+
+// Key returns the trial's configuration key under the given meter backend.
+// It matches ResultKey of the Result an executor produces for this trial, so
+// resumable sweeps can skip trials whose key the store already holds.
+func (t Trial) Key(meterName string) string {
+	specB, threadsB, itersB := "", 0, 0
+	if t.SpecB != nil {
+		specB, threadsB, itersB = t.SpecB.Name, t.Threads, t.ItersB
+	}
+	return configKey(t.Spec.Name, specB, t.Threads, threadsB, t.Placement, meterName, t.Iters, itersB)
+}
+
+// ResultKey derives the configuration identity of a measured result: two
+// results with the same key measured the same configuration.
+func ResultKey(r Result) string {
+	return configKey(r.Spec, r.SpecB, r.Threads, r.ThreadsB, r.Placement, r.Meter, r.Iters, r.ItersB)
+}
+
+// Plan validates the space and expands it into the explicit ordered trial
+// list: solo specs first, then co-run pairs, each crossed with every thread
+// count and placement in order.
+func Plan(space Space) ([]Trial, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	minReps, maxReps := space.repBounds()
+	var trials []Trial
+	add := func(specA bench.Spec, specB *bench.Spec, threads int, placement Placement) {
+		t := Trial{
+			Seq:       len(trials),
+			Spec:      specA,
+			SpecB:     specB,
+			Threads:   threads,
+			Placement: placement,
+			Iters:     scaleIters(specA.Iters, space.IterScale),
+			Warmup:    space.Warmup,
+			MinReps:   minReps,
+			MaxReps:   maxReps,
+			CVTarget:  space.CVTarget,
+			MaxCV:     space.MaxCV,
+		}
+		if specB != nil {
+			t.ItersB = scaleIters(specB.Iters, space.IterScale)
+		}
+		trials = append(trials, t)
+	}
+	for _, spec := range space.Specs {
+		for _, threads := range space.ThreadCounts {
+			for _, placement := range space.Placements {
+				add(spec, nil, threads, placement)
+			}
+		}
+	}
+	for _, pair := range space.Pairs {
+		b := pair.B
+		for _, threads := range space.ThreadCounts {
+			for _, placement := range space.Placements {
+				add(pair.A, &b, threads, placement)
+			}
+		}
+	}
+	return trials, nil
+}
+
+// FilterTrials drops every trial for which skip returns true, preserving
+// order and original Seq numbers, and reports how many were dropped. Used by
+// resumable sweeps to skip configurations the store already holds.
+func FilterTrials(trials []Trial, skip func(Trial) bool) (kept []Trial, skipped int) {
+	for _, t := range trials {
+		if skip(t) {
+			skipped++
+			continue
+		}
+		kept = append(kept, t)
+	}
+	return kept, skipped
+}

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"energybench/internal/meter"
+)
+
+func TestPlanExpandsSpaceInOrder(t *testing.T) {
+	space := tinySpace(t)
+	space.Pairs = []Pair{{A: space.Specs[0], B: space.Specs[1]}}
+	trials, err := Plan(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 specs × 2 thread counts + 1 pair × 2 thread counts, 1 placement.
+	if len(trials) != 6 {
+		t.Fatalf("got %d trials, want 6", len(trials))
+	}
+	for i, tr := range trials {
+		if tr.Seq != i {
+			t.Errorf("trials[%d].Seq = %d", i, tr.Seq)
+		}
+		if tr.MinReps != 3 || tr.MaxReps != 3 {
+			t.Errorf("trials[%d]: rep bounds %d/%d, want 3/3 from Reps shorthand", i, tr.MinReps, tr.MaxReps)
+		}
+		if tr.Warmup != 1 {
+			t.Errorf("trials[%d]: warmup %d, want 1", i, tr.Warmup)
+		}
+	}
+	// Solo trials first (plan order is the sweep order), pairs after.
+	if trials[0].IsCoRun() || !trials[4].IsCoRun() {
+		t.Errorf("plan order wrong: solo trials must precede co-run trials")
+	}
+	if trials[4].Name() != "tiny-int+tiny-chase" {
+		t.Errorf("pair trial name = %q", trials[4].Name())
+	}
+}
+
+func TestPlanAppliesIterScaleAndRepBounds(t *testing.T) {
+	space := tinySpace(t)
+	space.IterScale = 0.5
+	space.Reps = 2
+	space.MinReps = 3
+	space.MaxReps = 9
+	space.CVTarget = 0.1
+	trials, err := Plan(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trials[0].Iters != 1000 {
+		t.Errorf("Iters = %d, want 1000 after 0.5 scale of 2000", trials[0].Iters)
+	}
+	if trials[0].MinReps != 3 || trials[0].MaxReps != 9 || trials[0].CVTarget != 0.1 {
+		t.Errorf("rep budget = %d/%d cv %v, want 3/9 cv 0.1",
+			trials[0].MinReps, trials[0].MaxReps, trials[0].CVTarget)
+	}
+}
+
+func TestSpaceValidateRepBounds(t *testing.T) {
+	s := tinySpace(t)
+	s.Reps = 0
+	s.MinReps = 0
+	s.MaxReps = 5
+	if err := s.Validate(); err == nil {
+		t.Error("space with no minimum reps accepted")
+	}
+	s = tinySpace(t)
+	s.MinReps = 5
+	s.MaxReps = 2
+	if err := s.Validate(); err == nil {
+		t.Error("space with max < min reps accepted")
+	}
+	s = tinySpace(t)
+	s.CVTarget = -1
+	if err := s.Validate(); err == nil {
+		t.Error("space with negative cv target accepted")
+	}
+	s = tinySpace(t)
+	s.Reps = 0
+	s.MinReps = 2
+	if err := s.Validate(); err != nil {
+		t.Errorf("MinReps without Reps rejected: %v", err)
+	}
+}
+
+// TestTrialKeyMatchesResultKey pins the resume contract: the key a planned
+// trial computes must equal the key derived from the result its execution
+// produces, for both solo and co-run configurations.
+func TestTrialKeyMatchesResultKey(t *testing.T) {
+	space := tinySpace(t)
+	space.Pairs = []Pair{{A: space.Specs[0], B: space.Specs[1]}}
+	space.ThreadCounts = []int{2}
+	space.Reps = 1
+	space.Warmup = 0
+	trials, err := Plan(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := meter.NewMock(42)
+	exec := &InProcess{Meter: m}
+	for _, tr := range trials {
+		res, err := exec.Execute(context.Background(), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := ResultKey(res), tr.Key(m.Name()); got != want {
+			t.Errorf("%s: ResultKey %q != Trial.Key %q", tr.Name(), got, want)
+		}
+	}
+}
+
+func TestFilterTrials(t *testing.T) {
+	trials, err := Plan(tinySpace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, skipped := FilterTrials(trials, func(tr Trial) bool { return tr.Threads == 2 })
+	if skipped != 2 || len(kept) != 2 {
+		t.Fatalf("kept %d skipped %d, want 2/2", len(kept), skipped)
+	}
+	for _, tr := range kept {
+		if tr.Threads != 2 {
+			continue
+		}
+		t.Errorf("kept a trial the filter should skip: %+v", tr)
+	}
+	// Seq numbers survive filtering so progress can reference the full plan.
+	if kept[0].Seq == 0 && kept[1].Seq == 1 && trials[1].Threads == 2 {
+		t.Errorf("Seq renumbered after filtering: %d,%d", kept[0].Seq, kept[1].Seq)
+	}
+}
+
+func TestRunPlanNilSinkAndErrors(t *testing.T) {
+	trials, err := Plan(tinySpace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Meter: meter.NewMock(42)}
+	if err := r.RunPlan(context.Background(), trials[:1], nil); err != nil {
+		t.Errorf("nil sink must discard results, got %v", err)
+	}
+	if err := (&Runner{}).RunPlan(context.Background(), trials, nil); err == nil ||
+		!strings.Contains(err.Error(), "no meter") {
+		t.Errorf("runner without meter/executor: err = %v", err)
+	}
+}

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ResultSink consumes completed configurations as they finish, one at a
+// time, in plan order. Streaming results instead of collecting them means an
+// interrupted sweep loses nothing that completed: every sink has already
+// seen every finished trial. Consume returning an error aborts the sweep;
+// Close is called exactly once when the sweep ends (normally or not).
+type ResultSink interface {
+	Consume(r Result) error
+	Close() error
+}
+
+// Collector is an in-memory ResultSink accumulating results in order.
+type Collector struct {
+	Results []Result
+}
+
+func (c *Collector) Consume(r Result) error {
+	c.Results = append(c.Results, r)
+	return nil
+}
+
+func (c *Collector) Close() error { return nil }
+
+// SinkFunc adapts a function to the ResultSink interface (Close is a no-op).
+type SinkFunc func(Result) error
+
+func (f SinkFunc) Consume(r Result) error { return f(r) }
+func (f SinkFunc) Close() error           { return nil }
+
+// MultiSink fans each result out to every sink in order. Consume stops at
+// the first error; Close closes every sink and joins their errors.
+type MultiSink []ResultSink
+
+func (m MultiSink) Consume(r Result) error {
+	for _, s := range m {
+		if err := s.Consume(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m MultiSink) Close() error {
+	var errs []error
+	for _, s := range m {
+		if err := s.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// JSONArraySink streams results to w as one indented JSON array, writing
+// each element as it completes rather than buffering the sweep. Close
+// terminates the array (emitting "[]" if nothing was consumed), so even an
+// interrupted sweep leaves well-formed JSON covering the completed trials.
+type JSONArraySink struct {
+	w      io.Writer
+	n      int
+	closed bool
+}
+
+// NewJSONArraySink returns a sink streaming a JSON array of results to w.
+func NewJSONArraySink(w io.Writer) *JSONArraySink {
+	return &JSONArraySink{w: w}
+}
+
+func (s *JSONArraySink) Consume(r Result) error {
+	sep := "[\n"
+	if s.n > 0 {
+		sep = ",\n"
+	}
+	b, err := json.MarshalIndent(r, "  ", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: encoding result: %w", err)
+	}
+	if _, err := fmt.Fprintf(s.w, "%s  %s", sep, b); err != nil {
+		return fmt.Errorf("harness: writing result: %w", err)
+	}
+	s.n++
+	return nil
+}
+
+func (s *JSONArraySink) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	out := "[]\n"
+	if s.n > 0 {
+		out = "\n]\n"
+	}
+	_, err := io.WriteString(s.w, out)
+	return err
+}

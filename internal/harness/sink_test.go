@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func sampleResult(spec string, threads int) Result {
+	return Result{Spec: spec, Threads: threads, Iters: 100, Placement: PlaceNone, Meter: "mock"}
+}
+
+func TestJSONArraySinkStreamsValidArray(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONArraySink(&buf)
+	if err := s.Consume(sampleResult("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Consume(sampleResult("b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Result
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("streamed output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 || got[0].Spec != "a" || got[1].Spec != "b" {
+		t.Errorf("decoded %+v", got)
+	}
+}
+
+func TestJSONArraySinkEmptyAndIdempotentClose(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONArraySink(&buf)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Result
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil || len(got) != 0 {
+		t.Errorf("empty sink output = %q (err %v), want a valid empty array", buf.String(), err)
+	}
+}
+
+func TestMultiSinkFansOutAndStopsOnError(t *testing.T) {
+	var c1, c2 Collector
+	m := MultiSink{&c1, &c2}
+	if err := m.Consume(sampleResult("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.Results) != 1 || len(c2.Results) != 1 {
+		t.Errorf("fan-out missed a sink: %d/%d", len(c1.Results), len(c2.Results))
+	}
+
+	boom := errors.New("boom")
+	var after Collector
+	failing := MultiSink{SinkFunc(func(Result) error { return boom }), &after}
+	if err := failing.Consume(sampleResult("b", 1)); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+	if len(after.Results) != 0 {
+		t.Error("sink after the failing one still consumed the result")
+	}
+	if err := m.Close(); err != nil {
+		t.Errorf("Close = %v", err)
+	}
+}

@@ -237,3 +237,80 @@ func TestRAPLNoDomains(t *testing.T) {
 		t.Error("want error for missing powercap root, got nil")
 	}
 }
+
+// TestRAPLMissingMaxRangeFallsBack checks discovery degrades gracefully when
+// a domain has no max_energy_range_uj (some kernels/hypervisors omit it):
+// the domain is kept with a zero wrap range read from sysfs rather than a
+// hard-coded constant, and forward counter deltas still work.
+func TestRAPLMissingMaxRangeFallsBack(t *testing.T) {
+	root := t.TempDir()
+	writeRAPLDomain(t, root, "intel-rapl:0", "package-0", 1_000_000, 262_143_328_850)
+	writeRAPLDomain(t, root, "intel-rapl:1", "package-1", 2_000_000, 0)
+	if err := os.Remove(filepath.Join(root, "intel-rapl:1", "max_energy_range_uj")); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewRAPL(root)
+	if err != nil {
+		t.Fatalf("NewRAPL must tolerate a missing max_energy_range_uj: %v", err)
+	}
+	doms := r.Domains()
+	if len(doms) != 2 {
+		t.Fatalf("got %d domains, want 2", len(doms))
+	}
+	if doms[0].MaxRangeMicroJ != 262_143_328_850 {
+		t.Errorf("package-0 range = %d, want value read from sysfs", doms[0].MaxRangeMicroJ)
+	}
+	if doms[1].MaxRangeMicroJ != 0 {
+		t.Errorf("package-1 range = %d, want 0 fallback for missing file", doms[1].MaxRangeMicroJ)
+	}
+
+	r0, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRAPLDomain(t, root, "intel-rapl:0", "package-0", 1_500_000, 262_143_328_850)
+	writeRAPLDomain(t, root, "intel-rapl:1", "package-1", 2_250_000, 0)
+	os.Remove(filepath.Join(root, "intel-rapl:1", "max_energy_range_uj"))
+	r1, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := Delta(r, r0, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(j-0.75) > 1e-9 { // 0.5 J + 0.25 J
+		t.Errorf("Delta = %v J, want 0.75", j)
+	}
+
+	// A wrap on the range-less domain must surface an explicit error
+	// instead of a silently wrong delta.
+	writeRAPLDomain(t, root, "intel-rapl:1", "package-1", 100, 0)
+	os.Remove(filepath.Join(root, "intel-rapl:1", "max_energy_range_uj"))
+	r2, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Delta(r, r1, r2); err == nil {
+		t.Error("backwards counter with no wrap range must error")
+	}
+}
+
+// TestRAPLMalformedMaxRangeFallsBack: garbage in max_energy_range_uj also
+// degrades to the no-wrap fallback instead of failing discovery.
+func TestRAPLMalformedMaxRangeFallsBack(t *testing.T) {
+	root := t.TempDir()
+	writeRAPLDomain(t, root, "intel-rapl:0", "package-0", 1_000_000, 1)
+	if err := os.WriteFile(filepath.Join(root, "intel-rapl:0", "max_energy_range_uj"),
+		[]byte("not-a-number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRAPL(root)
+	if err != nil {
+		t.Fatalf("NewRAPL must tolerate malformed max_energy_range_uj: %v", err)
+	}
+	if got := r.Domains()[0].MaxRangeMicroJ; got != 0 {
+		t.Errorf("range = %d, want 0 fallback", got)
+	}
+}

@@ -50,9 +50,15 @@ func NewRAPL(root string) (*RAPL, error) {
 		if err != nil {
 			return nil, fmt.Errorf("rapl: %s has no name file: %w", n, err)
 		}
+		// The wrap modulus comes from sysfs rather than a hard-coded
+		// constant: real parts differ (~262 kJ packages, smaller
+		// subdomains). Some kernels/hypervisors omit the file entirely, so
+		// a missing or malformed max_energy_range_uj degrades to 0 ("never
+		// wraps") instead of failing discovery — Delta then reports an
+		// explicit error only if a counter actually rolls over.
 		maxRange, err := readCounterFile(filepath.Join(dir, "max_energy_range_uj"))
 		if err != nil {
-			return nil, fmt.Errorf("rapl: %s: %w", n, err)
+			maxRange = 0
 		}
 		energyPath := filepath.Join(dir, "energy_uj")
 		if _, err := readCounterFile(energyPath); err != nil {

@@ -1,0 +1,59 @@
+package stats
+
+import "math"
+
+// Accumulator computes running mean/variance with Welford's algorithm, so the
+// harness can check convergence (CV under a target) after every repetition
+// without re-scanning the sample set. The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+}
+
+// Push adds one sample.
+func (a *Accumulator) Push(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of samples pushed.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running mean, or 0 before any sample.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// StdDev returns the running sample standard deviation (n-1 denominator), or
+// 0 for fewer than two samples.
+func (a *Accumulator) StdDev() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n-1))
+}
+
+// CV returns the running coefficient of variation (StdDev/Mean), or 0 when
+// the mean is 0.
+func (a *Accumulator) CV() float64 {
+	if a.mean == 0 {
+		return 0
+	}
+	return a.StdDev() / a.mean
+}
+
+// Converged reports whether the accumulated samples satisfy the CV-based
+// stopping rule: at least minN samples (never fewer than two, since CV of a
+// single sample is trivially zero) with CV at or below cvTarget. A
+// non-positive cvTarget disables convergence, so fixed-rep sweeps never stop
+// early.
+func (a *Accumulator) Converged(cvTarget float64, minN int) bool {
+	if cvTarget <= 0 {
+		return false
+	}
+	if minN < 2 {
+		minN = 2
+	}
+	return a.n >= minN && a.CV() <= cvTarget
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAccumulatorMatchesBatch checks the running Welford moments agree with
+// the batch implementations after every push.
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	xs := []float64{5, 3.5, 4.25, 100, 4.1, 3.9, 0.004, 42}
+	var a Accumulator
+	for i, x := range xs {
+		a.Push(x)
+		prefix := xs[:i+1]
+		if a.N() != len(prefix) {
+			t.Fatalf("after %d pushes: N = %d", i+1, a.N())
+		}
+		if got, want := a.Mean(), Mean(prefix); math.Abs(got-want) > 1e-9 {
+			t.Errorf("after %d pushes: Mean = %v, want %v", i+1, got, want)
+		}
+		if got, want := a.StdDev(), StdDev(prefix); math.Abs(got-want) > 1e-9 {
+			t.Errorf("after %d pushes: StdDev = %v, want %v", i+1, got, want)
+		}
+		if got, want := a.CV(), CV(prefix); math.Abs(got-want) > 1e-9 {
+			t.Errorf("after %d pushes: CV = %v, want %v", i+1, got, want)
+		}
+	}
+}
+
+func TestAccumulatorZeroValue(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.StdDev() != 0 || a.CV() != 0 {
+		t.Errorf("zero accumulator not all-zero: N=%d mean=%v sd=%v cv=%v",
+			a.N(), a.Mean(), a.StdDev(), a.CV())
+	}
+	a.Push(7)
+	if a.Mean() != 7 || a.StdDev() != 0 {
+		t.Errorf("one sample: mean=%v sd=%v, want 7/0", a.Mean(), a.StdDev())
+	}
+}
+
+func TestAccumulatorConverged(t *testing.T) {
+	var a Accumulator
+	a.Push(100)
+	// A single sample has CV 0 but must never count as converged: the
+	// minimum is clamped to two samples.
+	if a.Converged(0.1, 1) {
+		t.Error("converged on a single sample")
+	}
+	a.Push(100)
+	if !a.Converged(0.1, 2) {
+		t.Error("two identical samples (CV 0) not converged at target 0.1")
+	}
+	if a.Converged(0.1, 3) {
+		t.Error("converged below minN")
+	}
+	// A non-positive target disables convergence even for identical samples.
+	if a.Converged(0, 2) {
+		t.Error("converged with target 0 (adaptive disabled)")
+	}
+	a.Push(100000)
+	if a.Converged(0.1, 2) {
+		t.Error("converged despite huge CV")
+	}
+}

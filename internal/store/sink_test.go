@@ -1,0 +1,83 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+
+	"energybench/internal/harness"
+)
+
+func TestKeysExportsStoredConfigurations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.jsonl")
+
+	// A store that does not exist yet resumes trivially: empty key set.
+	keys, err := Keys(path)
+	if err != nil {
+		t.Fatalf("Keys on missing store: %v", err)
+	}
+	if len(keys) != 0 {
+		t.Fatalf("missing store yielded %d keys", len(keys))
+	}
+
+	a, b := mkResult("int-alu", 1, "none"), mkResult("int-alu", 2, "none")
+	if _, err := Append(path, []harness.Result{a, b, a}); err != nil {
+		t.Fatal(err)
+	}
+	keys, err = Keys(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 {
+		t.Fatalf("got %d keys, want 2 after dedup: %v", len(keys), keys)
+	}
+	if !keys[Key(a)] || !keys[Key(b)] {
+		t.Errorf("key set %v missing %q or %q", keys, Key(a), Key(b))
+	}
+}
+
+// TestSinkFlushesPerResult is the mid-sweep durability regression test: each
+// Consume must leave the record fully readable on disk immediately — before
+// any later trial runs and before Close — so a SIGINT mid-sweep never loses
+// a completed configuration.
+func TestSinkFlushesPerResult(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.jsonl")
+	s := NewSink(path)
+
+	results := []harness.Result{
+		mkResult("int-alu", 1, "none"),
+		mkResult("int-alu", 2, "none"),
+		mkResult("chase-l1", 1, "none"),
+	}
+	for i, r := range results {
+		if err := s.Consume(r); err != nil {
+			t.Fatal(err)
+		}
+		// Load through a fresh reader after every single Consume: the data
+		// must already be durable without Close.
+		recs, err := Load(path)
+		if err != nil {
+			t.Fatalf("after %d consumes: %v", i+1, err)
+		}
+		if len(recs) != i+1 {
+			t.Fatalf("after %d consumes the store holds %d records", i+1, len(recs))
+		}
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d, want 3", s.Count())
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close = %v", err)
+	}
+}
+
+// TestSinkSurfacesWriteErrors: an unwritable store path must fail Consume,
+// aborting the sweep rather than silently dropping results.
+func TestSinkSurfacesWriteErrors(t *testing.T) {
+	s := NewSink(filepath.Join(t.TempDir(), "no-such-dir", "db.jsonl"))
+	if err := s.Consume(mkResult("int-alu", 1, "none")); err == nil {
+		t.Error("Consume into an unwritable path returned nil")
+	}
+	if s.Count() != 0 {
+		t.Errorf("failed Consume still counted: %d", s.Count())
+	}
+}

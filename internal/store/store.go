@@ -10,8 +10,10 @@ package store
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"time"
@@ -37,11 +39,11 @@ type Record struct {
 
 // Key derives the configuration identity of a result: two results with the
 // same key measured the same configuration and the newer one supersedes the
-// older on load. Iteration counts are part of the identity because energy
-// totals are only comparable at equal work.
+// older on load. It delegates to harness.ResultKey, the same identity
+// planned trials compute via Trial.Key, so resumable sweeps can match
+// stored records against not-yet-run trials.
 func Key(r harness.Result) string {
-	return fmt.Sprintf("%s|%s|t%d+%d|%s|%s|i%d+%d",
-		r.Spec, r.SpecB, r.Threads, r.ThreadsB, r.Placement, r.Meter, r.Iters, r.ItersB)
+	return harness.ResultKey(r)
 }
 
 // Append writes the results to the store at path, creating it if needed,
@@ -166,6 +168,52 @@ func Load(path string) ([]Record, error) {
 	}
 	return out, nil
 }
+
+// Keys returns the set of configuration keys the store at path holds, for
+// resumable sweeps: the planner drops trials whose key is already present.
+// A missing store file yields an empty set (a fresh sweep resumes trivially);
+// any other load failure is an error.
+func Keys(path string) (map[string]bool, error) {
+	recs, err := Load(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return map[string]bool{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	keys := make(map[string]bool, len(recs))
+	for _, rec := range recs {
+		keys[rec.Key] = true
+	}
+	return keys, nil
+}
+
+// Sink is a harness.ResultSink that appends each completed configuration to
+// the store as it finishes, flushing and closing the file per record. A
+// sweep killed mid-flight (SIGINT, crash) therefore never loses a completed
+// trial: everything consumed before the interrupt is already durable.
+type Sink struct {
+	path  string
+	count int
+}
+
+// NewSink returns a per-configuration flushing sink over the store at path.
+func NewSink(path string) *Sink { return &Sink{path: path} }
+
+// Consume appends one result and flushes it to disk before returning.
+func (s *Sink) Consume(r harness.Result) error {
+	if _, err := Append(s.path, []harness.Result{r}); err != nil {
+		return err
+	}
+	s.count++
+	return nil
+}
+
+// Count reports how many results this sink has persisted.
+func (s *Sink) Count() int { return s.count }
+
+// Close is a no-op: every record is already flushed.
+func (s *Sink) Close() error { return nil }
 
 // Compact rewrites the store in place with duplicates removed, so long-lived
 // stores that re-measure configurations don't grow without bound. The
