@@ -1,10 +1,10 @@
 # Targets mirror .github/workflows/ci.yml so local runs and CI stay in sync.
 
 GO ?= go
-COVER_PKGS := ./internal/stats/... ./internal/meter/... ./internal/model/... ./internal/store/... ./internal/harness/...
+COVER_PKGS := ./internal/stats/... ./internal/meter/... ./internal/model/... ./internal/store/... ./internal/harness/... ./internal/campaign/...
 COVER_FLOOR := 70
 
-.PHONY: all build test lint cover fuzz bench clean
+.PHONY: all build test lint staticcheck cover fuzz bench bench-json smoke clean
 
 all: lint build test
 
@@ -20,6 +20,15 @@ lint:
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
 
+# staticcheck is optional locally (CI installs it); skip with a notice when
+# the binary isn't on PATH.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
 cover:
 	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
 	$(GO) tool cover -func=cover.out
@@ -34,5 +43,19 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/bench
 
+# Machine-readable bench results, same artifact CI publishes per PR.
+bench-json:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/bench | $(GO) run ./cmd/benchjson > BENCH_kernels.json
+	@echo "wrote BENCH_kernels.json"
+
+# The CI campaign smoke: subprocess executor, core-leasing scheduler,
+# --parallel 4, store + resume, then the analysis pipeline over the store.
+smoke: build
+	rm -f smoke-results.jsonl
+	./bin/energybench run --campaign testdata/smoke.yaml --progress > /dev/null
+	./bin/energybench analyze --db=smoke-results.jsonl > /dev/null
+	./bin/energybench compare --db=smoke-results.jsonl > /dev/null
+	@echo "smoke campaign OK ($$(wc -l < smoke-results.jsonl) stored results)"
+
 clean:
-	rm -rf bin cover.out
+	rm -rf bin cover.out BENCH_kernels.json smoke-results.jsonl

@@ -1,0 +1,139 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON document on stdout, so CI can publish every PR's
+// kernel benchmark smoke as a BENCH_*.json artifact and future changes get
+// a perf trajectory instead of a pile of logs.
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./internal/bench | benchjson > BENCH_kernels.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (0 when the line had none).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is the measured iteration count (b.N).
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline ns/op metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every additional "<value> <unit>" pair on the line
+	// (B/op, allocs/op, custom b.ReportMetric units).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	SchemaVersion int         `json:"schema_version"`
+	GOOS          string      `json:"goos,omitempty"`
+	GOARCH        string      `json:"goarch,omitempty"`
+	Pkg           string      `json:"pkg,omitempty"`
+	CPU           string      `json:"cpu,omitempty"`
+	Benchmarks    []Benchmark `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+)\s+ns/op(.*)$`)
+
+func main() {
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` output and extracts the result lines plus
+// the environment header. Unrecognized lines (PASS, ok, test logs) are
+// skipped; zero parsed benchmarks is an error so a silently broken bench
+// step cannot publish an empty artifact.
+func parse(r io.Reader) (Report, error) {
+	report := Report{SchemaVersion: 1, Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if k, v, ok := strings.Cut(line, ": "); ok {
+			switch k {
+			case "goos":
+				report.GOOS = v
+			case "goarch":
+				report.GOARCH = v
+			case "pkg":
+				report.Pkg = v
+			case "cpu":
+				report.CPU = v
+			}
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: m[1]}
+		if m[2] != "" {
+			b.Procs, _ = strconv.Atoi(m[2])
+		}
+		// Go only appends the -GOMAXPROCS suffix when GOMAXPROCS != 1, so a
+		// captured "-1" is always part of the benchmark's own name (e.g.
+		// chase-l1 run on a single-CPU machine), not a procs suffix. Names
+		// genuinely ending in -<n> with n > 1 (like mixed-50) remain
+		// ambiguous only on single-CPU runs, where no suffix is emitted.
+		if b.Procs == 1 {
+			b.Name += "-1"
+			b.Procs = 0
+		}
+		var err error
+		if b.Iterations, err = strconv.ParseInt(m[3], 10, 64); err != nil {
+			return report, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		}
+		if b.NsPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+			return report, fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		b.Metrics = parseExtraMetrics(m[5])
+		report.Benchmarks = append(report.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return report, err
+	}
+	if len(report.Benchmarks) == 0 {
+		return report, fmt.Errorf("no benchmark result lines found on stdin")
+	}
+	return report, nil
+}
+
+// parseExtraMetrics decodes the trailing "<value> <unit>" pairs of a
+// benchmark line, e.g. "  56 B/op   2 allocs/op".
+func parseExtraMetrics(s string) map[string]float64 {
+	fields := strings.Fields(s)
+	if len(fields) < 2 {
+		return nil
+	}
+	metrics := map[string]float64{}
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return nil
+	}
+	return metrics
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: energybench/internal/bench
+cpu: AMD EPYC 7B13
+BenchmarkKernels/int-alu-8         	       1	    123456 ns/op
+BenchmarkKernels/chase-dram-8      	       1	   9876543 ns/op
+BenchmarkAlloc-8                   	    1000	      1234 ns/op	      56 B/op	       2 allocs/op
+BenchmarkNoProcs                   	       5	      10.5 ns/op
+BenchmarkKernels/chase-l1          	       3	    222 ns/op
+PASS
+ok  	energybench/internal/bench	1.234s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	report, err := parse(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.GOOS != "linux" || report.GOARCH != "amd64" || report.Pkg != "energybench/internal/bench" {
+		t.Errorf("header mis-parsed: %+v", report)
+	}
+	if len(report.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(report.Benchmarks))
+	}
+	b0 := report.Benchmarks[0]
+	if b0.Name != "BenchmarkKernels/int-alu" || b0.Procs != 8 || b0.Iterations != 1 || b0.NsPerOp != 123456 {
+		t.Errorf("first benchmark mis-parsed: %+v", b0)
+	}
+	alloc := report.Benchmarks[2]
+	if alloc.Metrics["B/op"] != 56 || alloc.Metrics["allocs/op"] != 2 {
+		t.Errorf("extra metrics mis-parsed: %+v", alloc.Metrics)
+	}
+	noProcs := report.Benchmarks[3]
+	if noProcs.Procs != 0 || noProcs.NsPerOp != 10.5 {
+		t.Errorf("proc-less fractional benchmark mis-parsed: %+v", noProcs)
+	}
+	// A single-CPU run emits no -GOMAXPROCS suffix, so the -1 in chase-l1
+	// is part of the kernel name, not a procs count.
+	l1 := report.Benchmarks[4]
+	if l1.Name != "BenchmarkKernels/chase-l1" || l1.Procs != 0 {
+		t.Errorf("name ending in -1 mis-split into procs suffix: %+v", l1)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok  \tpkg\t0.1s\n")); err == nil {
+		t.Error("want an error when no benchmark lines are present")
+	}
+}

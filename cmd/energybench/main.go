@@ -22,10 +22,11 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"energybench/internal/bench"
+	"energybench/internal/campaign"
 	"energybench/internal/harness"
-	"energybench/internal/meter"
 	"energybench/internal/model"
 	"energybench/internal/store"
 )
@@ -49,6 +50,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return cmdList(args[1:], stdout, stderr)
 	case "run":
 		return cmdRun(ctx, args[1:], stdout, stderr)
+	case "worker-trial":
+		return cmdWorkerTrial(ctx, args[1:], os.Stdin, stdout, stderr)
 	case "store":
 		return cmdStore(args[1:], stdout, stderr)
 	case "analyze":
@@ -89,14 +92,29 @@ space flags (run, and list for sizing a sweep):
   --max-cv=F          CV threshold for outlier rejection, 0 disables (default 0.2)
 
 run flags:
+  --campaign=FILE     run a declarative campaign file (YAML or JSON) naming
+                      spaces, executor, parallelism, and store; exclusive
+                      with the space/meter/store flags (--dry-run and
+                      --progress still apply)
   --meter=mock|rapl   energy backend (default mock; rapl needs /sys/class/powercap read access)
   --mock-watts=N      constant power the mock meter models (default 42)
+  --executor=NAME     trial backend: inprocess (default) or subprocess —
+                      each trial in a freshly exec'd worker child, so
+                      pinning/warmup/metering run in a quiet process and a
+                      crashed trial doesn't kill the sweep
+  --parallel=N        max concurrently running trials under the core-leasing
+                      scheduler (default 1; >1 requires --executor=subprocess)
+  --trial-timeout=D   kill a worker child running longer than this Go
+                      duration (subprocess executor only; default: no limit)
   --store=PATH        also append results to the JSONL store at PATH,
                       flushed per configuration
   --resume            skip trials whose configuration key the --store file
                       already holds (logs the skip count)
   --dry-run           print the planned trials as JSON and exit without running
   --progress          log one line per completed trial to stderr
+
+worker-trial:         internal: run one trial read from stdin and print a
+                      result envelope (spawned by --executor=subprocess)
 
 store flags:
   --db=PATH           store file (required)
@@ -138,33 +156,15 @@ func spaceFlags(fs *flag.FlagSet) func() (harness.Space, error) {
 		if *iterScale <= 0 {
 			return space, fmt.Errorf("--iter-scale must be positive, got %v", *iterScale)
 		}
+		var err error
 		if *specsFlag == "" && *corunFlag == "" {
 			space.Specs = bench.Catalog()
-		} else {
-			for _, name := range splitNonEmpty(*specsFlag) {
-				s, err := bench.Lookup(name)
-				if err != nil {
-					return space, err
-				}
-				space.Specs = append(space.Specs, s)
-			}
+		} else if space.Specs, err = campaign.LookupSpecs(splitNonEmpty(*specsFlag)); err != nil {
+			return space, err
 		}
-		for _, pair := range splitNonEmpty(*corunFlag) {
-			nameA, nameB, ok := strings.Cut(pair, "+")
-			if !ok {
-				return space, fmt.Errorf("--corun: pair %q is not of the form specA+specB", pair)
-			}
-			a, err := bench.Lookup(strings.TrimSpace(nameA))
-			if err != nil {
-				return space, err
-			}
-			b, err := bench.Lookup(strings.TrimSpace(nameB))
-			if err != nil {
-				return space, err
-			}
-			space.Pairs = append(space.Pairs, harness.Pair{A: a, B: b})
+		if space.Pairs, err = campaign.ParsePairs(splitNonEmpty(*corunFlag)); err != nil {
+			return space, fmt.Errorf("--corun: %w", err)
 		}
-		var err error
 		if space.ThreadCounts, err = parseIntList(*threads); err != nil {
 			return space, fmt.Errorf("--threads: %w", err)
 		}
@@ -224,65 +224,145 @@ func cmdList(args []string, stdout, stderr io.Writer) error {
 	return writeJSON(stdout, newPlanDoc(trials, 0))
 }
 
+// sweepConfig is everything executeSweep needs, assembled either from the
+// run flags or from a campaign file — both routes share one execution path
+// so campaigns and flag-driven sweeps can never drift apart.
+type sweepConfig struct {
+	trials    []harness.Trial
+	meterName string
+	mockWatts float64
+	executor  string // campaign.ExecutorInProcess | campaign.ExecutorSubprocess
+	parallel  int
+	timeout   time.Duration
+	storePath string
+	resume    bool
+	dryRun    bool
+	progress  bool
+}
+
 func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	buildSpace := spaceFlags(fs)
 	var (
-		meterName = fs.String("meter", "mock", "energy backend: mock|rapl")
-		mockWatts = fs.Float64("mock-watts", 42, "constant power modeled by the mock meter")
-		storePath = fs.String("store", "", "append results to the JSONL store at this path, flushed per configuration")
-		resume    = fs.Bool("resume", false, "skip trials already present in the --store file")
-		dryRun    = fs.Bool("dry-run", false, "print the planned trials as JSON without executing them")
-		progress  = fs.Bool("progress", false, "log one line per completed trial to stderr")
+		campaignPath = fs.String("campaign", "", "run a declarative campaign file (YAML or JSON)")
+		meterName    = fs.String("meter", "mock", "energy backend: mock|rapl")
+		mockWatts    = fs.Float64("mock-watts", 42, "constant power modeled by the mock meter")
+		executor     = fs.String("executor", campaign.ExecutorInProcess, "trial backend: inprocess|subprocess")
+		parallel     = fs.Int("parallel", 1, "max concurrently running trials (requires --executor=subprocess when above 1)")
+		timeout      = fs.Duration("trial-timeout", 0, "kill a subprocess worker running longer than this (0: no limit)")
+		storePath    = fs.String("store", "", "append results to the JSONL store at this path, flushed per configuration")
+		resume       = fs.Bool("resume", false, "skip trials already present in the --store file")
+		dryRun       = fs.Bool("dry-run", false, "print the planned trials as JSON without executing them")
+		progress     = fs.Bool("progress", false, "log one line per completed trial to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	space, err := buildSpace()
-	if err != nil {
-		return err
-	}
-	switch *meterName {
-	case "mock", "rapl":
-	default:
-		return fmt.Errorf("unknown meter %q (want mock|rapl)", *meterName)
-	}
 
-	trials, err := harness.Plan(space)
-	if err != nil {
-		return err
+	var cfg sweepConfig
+	if *campaignPath != "" {
+		// A campaign file owns the whole sweep definition; mixing it with
+		// ad-hoc flags would make the checked-in artifact lie about what
+		// ran. Only observation flags stay usable.
+		var conflicting []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "campaign", "dry-run", "progress":
+			default:
+				conflicting = append(conflicting, "--"+f.Name)
+			}
+		})
+		if len(conflicting) > 0 {
+			return fmt.Errorf("--campaign is exclusive with %s: the campaign file declares the sweep", strings.Join(conflicting, ", "))
+		}
+		c, err := campaign.Load(*campaignPath)
+		if err != nil {
+			return err
+		}
+		trials, err := c.Plan()
+		if err != nil {
+			return err
+		}
+		ctimeout, err := c.Timeout()
+		if err != nil {
+			return err
+		}
+		cfg = sweepConfig{
+			trials:    trials,
+			meterName: c.Meter,
+			mockWatts: *c.MockWatts,
+			executor:  c.Executor,
+			parallel:  *c.Parallel,
+			timeout:   ctimeout,
+			storePath: c.Store,
+			resume:    c.Resume,
+			dryRun:    *dryRun,
+			progress:  *progress,
+		}
+		if c.Name != "" {
+			fmt.Fprintf(stderr, "campaign %q: %d planned trials across %d spaces\n", c.Name, len(trials), len(c.Spaces))
+		}
+	} else {
+		if err := campaign.ValidateMeter(*meterName); err != nil {
+			return err
+		}
+		// Fail fast on meter/executor/parallelism combinations that would
+		// otherwise silently misbehave (e.g. --parallel > 1 quietly
+		// serializing under the in-process executor, or corrupting rapl
+		// energies); the same shared check guards campaign files.
+		if err := campaign.ValidateExec(*meterName, *executor, *parallel, *timeout); err != nil {
+			return err
+		}
+		space, err := buildSpace()
+		if err != nil {
+			return err
+		}
+		trials, err := harness.Plan(space)
+		if err != nil {
+			return err
+		}
+		cfg = sweepConfig{
+			trials:    trials,
+			meterName: *meterName,
+			mockWatts: *mockWatts,
+			executor:  *executor,
+			parallel:  *parallel,
+			timeout:   *timeout,
+			storePath: *storePath,
+			resume:    *resume,
+			dryRun:    *dryRun,
+			progress:  *progress,
+		}
 	}
+	return executeSweep(ctx, cfg, stdout, stderr)
+}
+
+func executeSweep(ctx context.Context, cfg sweepConfig, stdout, stderr io.Writer) error {
+	trials := cfg.trials
 	skipped := 0
-	if *resume {
-		if *storePath == "" {
+	if cfg.resume {
+		if cfg.storePath == "" {
 			return fmt.Errorf("--resume requires --store")
 		}
 		// Trial keys only need the backend's name, so resume filtering (and
 		// its dry run) works without constructing the meter.
-		keys, err := store.Keys(*storePath)
+		keys, err := store.Keys(cfg.storePath)
 		if err != nil {
 			return err
 		}
 		trials, skipped = harness.FilterTrials(trials, func(t harness.Trial) bool {
-			return keys[t.Key(*meterName)]
+			return keys[t.Key(cfg.meterName)]
 		})
 		fmt.Fprintf(stderr, "resume: skipped %d already-stored trials, %d to run\n", skipped, len(trials))
 	}
-	if *dryRun {
+	if cfg.dryRun {
 		return writeJSON(stdout, newPlanDoc(trials, skipped))
 	}
 
-	var m meter.EnergyMeter
-	if *meterName == "mock" {
-		m = meter.NewMock(*mockWatts)
-	} else if m, err = meter.NewRAPL(meter.DefaultPowercapRoot); err != nil {
-		return err
-	}
-
-	runner := &harness.Runner{Meter: m}
-	if *progress {
-		runner.Log = func(format string, args ...any) {
+	var log func(format string, args ...any)
+	if cfg.progress {
+		log = func(format string, args ...any) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		}
 	}
@@ -295,17 +375,40 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	// stdout write failure can never drop a measured trial from the store.
 	var sinks harness.MultiSink
 	var storeSink *store.Sink
-	if *storePath != "" {
-		storeSink = store.NewSink(*storePath)
+	if cfg.storePath != "" {
+		storeSink = store.NewSink(cfg.storePath)
 		sinks = append(sinks, storeSink)
 	}
 	sinks = append(sinks, harness.NewJSONArraySink(stdout))
-	runErr := runner.RunPlan(ctx, trials, sinks)
+
+	var runErr error
+	if cfg.executor == campaign.ExecutorSubprocess {
+		// Probe the meter once up front so a systematically broken backend
+		// (e.g. rapl without powercap read access) fails fast, instead of
+		// spawning one doomed worker per trial and reporting the same
+		// error hundreds of times.
+		if _, err := newMeter(cfg.meterName, cfg.mockWatts); err != nil {
+			return err
+		}
+		exec, err := newSubprocessExecutor(cfg.meterName, cfg.mockWatts, cfg.timeout)
+		if err != nil {
+			return err
+		}
+		sched := &harness.Scheduler{Executor: exec, Parallel: cfg.parallel, Log: log}
+		runErr = sched.RunPlan(ctx, trials, sinks)
+	} else {
+		m, err := newMeter(cfg.meterName, cfg.mockWatts)
+		if err != nil {
+			return err
+		}
+		runner := &harness.Runner{Meter: m, Log: log}
+		runErr = runner.RunPlan(ctx, trials, sinks)
+	}
 	if err := sinks.Close(); err != nil {
 		runErr = errors.Join(runErr, err)
 	}
 	if storeSink != nil && storeSink.Count() > 0 {
-		fmt.Fprintf(stderr, "stored %d results in %s\n", storeSink.Count(), *storePath)
+		fmt.Fprintf(stderr, "stored %d results in %s\n", storeSink.Count(), cfg.storePath)
 	}
 	return runErr
 }

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"energybench/internal/bench"
+	"energybench/internal/campaign"
+	"energybench/internal/harness"
+	"energybench/internal/meter"
+)
+
+// workerEnvMarker is set in every worker child's environment. The production
+// binary ignores it (the worker-trial argv is what selects worker mode), but
+// it lets a `go test` binary re-exec itself as the CLI: TestMain sees the
+// marker and dispatches to run() instead of the test runner.
+const workerEnvMarker = "ENERGYBENCH_WORKER"
+
+// newSubprocessExecutor builds the executor that re-execs this binary as a
+// `worker-trial` child for every trial, forwarding the meter configuration
+// as child flags so the parent never has to construct the meter itself
+// (RAPL sysfs access stays confined to the measuring process).
+func newSubprocessExecutor(meterName string, mockWatts float64, timeout time.Duration) (*harness.Subprocess, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("locating own binary for worker re-exec: %w", err)
+	}
+	args := []string{"worker-trial", "--meter=" + meterName}
+	if meterName == "mock" {
+		args = append(args, fmt.Sprintf("--mock-watts=%g", mockWatts))
+	}
+	return &harness.Subprocess{
+		Binary:  self,
+		Args:    args,
+		Env:     []string{workerEnvMarker + "=1"},
+		Timeout: timeout,
+	}, nil
+}
+
+// cmdWorkerTrial is the child half of the subprocess executor: it reads one
+// serialized harness.Trial from stdin, runs it in-process (pinning, warm-up,
+// metering — in this quiet single-purpose address space), and writes exactly
+// one WorkerEnvelope to stdout. All failures are reported through the
+// envelope so the parent gets a structured per-trial error; the nonzero exit
+// is just a secondary signal.
+func cmdWorkerTrial(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("worker-trial", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		meterName = fs.String("meter", "mock", "energy backend: mock|rapl")
+		mockWatts = fs.Float64("mock-watts", 42, "constant power modeled by the mock meter")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := runWorkerTrial(ctx, *meterName, *mockWatts, stdin)
+	env := harness.WorkerEnvelope{V: harness.WorkerProtocolVersion}
+	if err != nil {
+		env.Error = err.Error()
+	} else {
+		env.Result = &res
+	}
+	if encErr := json.NewEncoder(stdout).Encode(env); encErr != nil {
+		return fmt.Errorf("worker-trial: writing envelope: %w", encErr)
+	}
+	if err != nil {
+		return fmt.Errorf("worker-trial: %w", err)
+	}
+	return nil
+}
+
+func runWorkerTrial(ctx context.Context, meterName string, mockWatts float64, stdin io.Reader) (harness.Result, error) {
+	var t harness.Trial
+	if err := json.NewDecoder(stdin).Decode(&t); err != nil {
+		return harness.Result{}, fmt.Errorf("decoding trial from stdin: %w", err)
+	}
+	// Kernels are function pointers and don't survive serialization; graft
+	// them back from the catalog by spec name.
+	if err := graftKernel(&t.Spec); err != nil {
+		return harness.Result{}, err
+	}
+	if t.SpecB != nil {
+		if err := graftKernel(t.SpecB); err != nil {
+			return harness.Result{}, err
+		}
+	}
+	m, err := newMeter(meterName, mockWatts)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	exec := &harness.InProcess{Meter: m}
+	return exec.Execute(ctx, t)
+}
+
+// newMeter constructs the energy backend. It is the single construction
+// path shared by the in-process sweep and the worker child, so a new
+// backend only needs wiring here.
+func newMeter(name string, mockWatts float64) (meter.EnergyMeter, error) {
+	switch name {
+	case "mock":
+		return meter.NewMock(mockWatts), nil
+	case "rapl":
+		return meter.NewRAPL(meter.DefaultPowercapRoot)
+	default:
+		if err := campaign.ValidateMeter(name); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("meter %q is known but has no constructor wired here", name)
+	}
+}
+
+func graftKernel(spec *bench.Spec) error {
+	cat, err := bench.Lookup(spec.Name)
+	if err != nil {
+		return err
+	}
+	spec.Kernel = cat.Kernel
+	return nil
+}

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"energybench/internal/store"
+)
+
+// TestMain lets this test binary impersonate the energybench CLI: the
+// subprocess executor re-execs os.Executable() — under `go test`, the test
+// binary itself — with the worker env marker set. When the marker is
+// present we dispatch straight into run() instead of the test runner, so
+// subprocess-executor integration tests exercise the real spawn path.
+func TestMain(m *testing.M) {
+	if os.Getenv(workerEnvMarker) == "1" {
+		if err := run(context.Background(), os.Args[1:], os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "energybench:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestWorkerTrialRoundTrip drives the worker subcommand in-process: a
+// serialized trial on stdin must come back as a measured envelope with the
+// kernel grafted from the catalog.
+func TestWorkerTrialRoundTrip(t *testing.T) {
+	trialJSON := `{"seq":0,"spec":{"name":"int-alu","component":"int-alu","iters":1000,"unroll":8},
+		"threads":1,"placement":"none","iters":1000,"warmup":0,"min_reps":2,"max_reps":2}`
+	var stdout, stderr bytes.Buffer
+	err := cmdWorkerTrial(context.Background(), []string{"--meter=mock", "--mock-watts=10"},
+		strings.NewReader(trialJSON), &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("worker-trial failed: %v\nstderr: %s", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{`"v":1`, `"spec":"int-alu"`, `"meter":"mock"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("envelope %q missing %q", out, want)
+		}
+	}
+}
+
+// TestWorkerTrialErrorsThroughEnvelope: failures must reach stdout as a
+// structured envelope (the parent's only reliable channel), not just exit 1.
+func TestWorkerTrialErrorsThroughEnvelope(t *testing.T) {
+	cases := []struct {
+		name, stdin, wantErr string
+	}{
+		{"garbage stdin", "not json", "decoding trial"},
+		{"unknown spec", `{"spec":{"name":"no-such-kernel"},"threads":1,"placement":"none","min_reps":1,"max_reps":1}`, "no-such-kernel"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := cmdWorkerTrial(context.Background(), []string{"--meter=mock"},
+				strings.NewReader(tc.stdin), &stdout, &stderr)
+			if err == nil {
+				t.Fatal("want an error")
+			}
+			if !strings.Contains(stdout.String(), `"error"`) || !strings.Contains(stdout.String(), tc.wantErr) {
+				t.Errorf("envelope %q should carry an error mentioning %q", stdout.String(), tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestSubprocessParallelMatchesSerialKeys is the acceptance-criteria test:
+// a mock-meter campaign run with --parallel 4 under the subprocess executor
+// must produce exactly the same set of store configuration keys as the
+// serial in-process run of the same space.
+func TestSubprocessParallelMatchesSerialKeys(t *testing.T) {
+	dir := t.TempDir()
+	serialStore := filepath.Join(dir, "serial.jsonl")
+	parallelStore := filepath.Join(dir, "parallel.jsonl")
+
+	spaceArgs := []string{
+		"--specs=int-alu,fp-mac", "--corun=int-alu+fp-mac",
+		"--threads=1,2", "--reps=1", "--warmup=0", "--iter-scale=0.01",
+	}
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"run", "--meter=mock", "--store=" + serialStore}, spaceArgs...)
+	if err := run(context.Background(), args, &stdout, &stderr); err != nil {
+		t.Fatalf("serial run failed: %v\nstderr: %s", err, stderr.String())
+	}
+
+	campaignYAML := fmt.Sprintf(`
+name: parity
+meter: mock
+executor: subprocess
+parallel: 4
+store: %s
+spaces:
+  - specs: [int-alu, fp-mac]
+    corun: [int-alu+fp-mac]
+    threads: [1, 2]
+    reps: 1
+    warmup: 0
+    iter_scale: 0.01
+`, parallelStore)
+	campaignPath := filepath.Join(dir, "parity.yaml")
+	if err := os.WriteFile(campaignPath, []byte(campaignYAML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if err := run(context.Background(), []string{"run", "--campaign=" + campaignPath}, &stdout, &stderr); err != nil {
+		t.Fatalf("campaign run failed: %v\nstderr: %s", err, stderr.String())
+	}
+
+	serialKeys, err := store.Keys(serialStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelKeys, err := store.Keys(parallelStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serialKeys) == 0 {
+		t.Fatal("serial run stored nothing")
+	}
+	if len(serialKeys) != len(parallelKeys) {
+		t.Errorf("serial stored %d keys, parallel campaign stored %d", len(serialKeys), len(parallelKeys))
+	}
+	for k := range serialKeys {
+		if !parallelKeys[k] {
+			t.Errorf("key %q present in serial store but missing from parallel campaign store", k)
+		}
+	}
+}
+
+// TestCampaignResumeSkipsStoredTrials: a second campaign run with resume
+// enabled must skip everything the first run stored.
+func TestCampaignResumeSkipsStoredTrials(t *testing.T) {
+	dir := t.TempDir()
+	storePath := filepath.Join(dir, "resume.jsonl")
+	campaignYAML := fmt.Sprintf(`
+name: resumable
+meter: mock
+executor: subprocess
+parallel: 2
+store: %s
+resume: true
+spaces:
+  - specs: [int-alu]
+    threads: [1, 2]
+    reps: 1
+    warmup: 0
+    iter_scale: 0.01
+`, storePath)
+	campaignPath := filepath.Join(dir, "resumable.yaml")
+	if err := os.WriteFile(campaignPath, []byte(campaignYAML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(), []string{"run", "--campaign=" + campaignPath}, &stdout, &stderr); err != nil {
+		t.Fatalf("first campaign run failed: %v\nstderr: %s", err, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if err := run(context.Background(), []string{"run", "--campaign=" + campaignPath}, &stdout, &stderr); err != nil {
+		t.Fatalf("second campaign run failed: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "skipped 2 already-stored trials, 0 to run") {
+		t.Errorf("second run should have skipped both trials; stderr: %s", stderr.String())
+	}
+}
+
+// TestRunFlagValidationFailsFast: invalid executor/parallelism combinations
+// must error out before any trial runs instead of silently serializing.
+func TestRunFlagValidationFailsFast(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"parallel with inprocess", []string{"run", "--parallel=4"}, "requires the subprocess executor"},
+		{"parallel zero", []string{"run", "--parallel=0", "--executor=subprocess"}, "at least 1"},
+		{"unknown executor", []string{"run", "--executor=quantum"}, "unknown executor"},
+		{"timeout with inprocess", []string{"run", "--trial-timeout=5s"}, "requires the subprocess executor"},
+		{"campaign with space flags", []string{"run", "--campaign=x.yaml", "--specs=int-alu"}, "exclusive"},
+		{"campaign with meter flag", []string{"run", "--campaign=x.yaml", "--meter=mock"}, "exclusive"},
+		{"missing campaign file", []string{"run", "--campaign=/does/not/exist.yaml"}, "exist"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(context.Background(), tc.args, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("run %v succeeded, want error containing %q", tc.args, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestCampaignDryRun: --dry-run composes with --campaign and prints the
+// combined plan without spawning a single worker.
+func TestCampaignDryRun(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{"run", "--campaign=../../testdata/smoke.yaml", "--dry-run"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("dry run failed: %v\nstderr: %s", err, stderr.String())
+	}
+	out := stdout.String()
+	// smoke.yaml: solo 3 specs × 2 threads + corun 1 pair × 2 threads = 8.
+	if !strings.Contains(out, `"trials": 8`) {
+		t.Errorf("dry-run plan should count 8 trials; output: %.400s", out)
+	}
+	if !strings.Contains(stderr.String(), `campaign "ci-smoke"`) {
+		t.Errorf("stderr should announce the campaign; got: %s", stderr.String())
+	}
+}

@@ -1,0 +1,369 @@
+// Package campaign turns a whole paper-style characterization — multiple
+// exploration spaces, an executor choice, parallelism, convergence targets,
+// and an output store — into one declarative, reviewable file instead of a
+// shell script of flags. A campaign file is YAML (a small dependency-free
+// subset, see yaml.go) or JSON; both decode through the same schema with
+// unknown-key rejection, so a typo'd field fails the load rather than
+// silently running a different sweep.
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"energybench/internal/bench"
+	"energybench/internal/harness"
+)
+
+// Executor names the trial execution backend a campaign requests.
+const (
+	ExecutorInProcess  = "inprocess"
+	ExecutorSubprocess = "subprocess"
+)
+
+// Campaign is the top-level schema of a campaign file.
+type Campaign struct {
+	// Name labels the campaign in logs and stored artifacts.
+	Name string `json:"name"`
+	// Meter picks the energy backend: "mock" (default) or "rapl".
+	Meter string `json:"meter,omitempty"`
+	// MockWatts is the constant power the mock meter models (default 42;
+	// a pointer so the zero value stays distinguishable — and rejectable —
+	// rather than silently becoming the default).
+	MockWatts *float64 `json:"mock_watts,omitempty"`
+	// Executor picks the trial backend: "inprocess" (default) or
+	// "subprocess" (each trial in a freshly exec'd worker child).
+	Executor string `json:"executor,omitempty"`
+	// Parallel is the maximum number of concurrently running trials under
+	// the core-leasing scheduler; default 1. Values above 1 require the
+	// subprocess executor. A pointer so an explicit `parallel: 0` is
+	// rejected instead of silently becoming the default.
+	Parallel *int `json:"parallel,omitempty"`
+	// TrialTimeout is a Go duration ("90s", "2m") bounding one trial's wall
+	// clock under the subprocess executor; empty means no limit.
+	TrialTimeout string `json:"trial_timeout,omitempty"`
+	// Store is the JSONL result store path, flushed per configuration.
+	Store string `json:"store,omitempty"`
+	// Resume skips trials whose configuration key Store already holds.
+	Resume bool `json:"resume,omitempty"`
+	// Spaces are the exploration spaces to sweep, in order.
+	Spaces []SpaceConfig `json:"spaces"`
+}
+
+// SpaceConfig is the declarative form of one harness.Space. Optional fields
+// are pointers where zero is a meaningful value (warmup 0, cv_target 0), so
+// "omitted" and "explicitly zero" stay distinguishable; the defaults mirror
+// the CLI flag defaults.
+type SpaceConfig struct {
+	// Name labels the space in errors and logs.
+	Name string `json:"name,omitempty"`
+	// Specs are catalog spec names to run solo.
+	Specs []string `json:"specs,omitempty"`
+	// Corun are co-run pairs, each "specA+specB".
+	Corun []string `json:"corun,omitempty"`
+	// Threads are the thread counts to sweep (default [1, 2], matching the
+	// CLI --threads default). For a co-run pair a count of n means n
+	// threads of each spec.
+	Threads []int `json:"threads,omitempty"`
+	// Placements are thread-pinning policies: none|compact|scatter
+	// (default [none]).
+	Placements []string `json:"placements,omitempty"`
+	// Reps is the fixed repetition count (default 3); MinReps/MaxReps
+	// switch on adaptive repetitions exactly as the CLI flags do.
+	Reps     int      `json:"reps,omitempty"`
+	MinReps  int      `json:"min_reps,omitempty"`
+	MaxReps  int      `json:"max_reps,omitempty"`
+	CVTarget *float64 `json:"cv_target,omitempty"`  // default 0.05
+	Warmup   *int     `json:"warmup,omitempty"`     // default 1
+	IterScal *float64 `json:"iter_scale,omitempty"` // default 1.0
+	MaxCV    *float64 `json:"max_cv,omitempty"`     // default 0.2
+}
+
+// Load reads and validates a campaign file. Files whose first significant
+// byte is '{' are decoded as JSON; everything else goes through the YAML
+// subset parser. Both paths reject unknown keys.
+func Load(path string) (*Campaign, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	c, err := Parse(data)
+	if err != nil {
+		// Parse/Validate errors already carry the "campaign:" prefix where
+		// appropriate; only the file path is added here.
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Parse decodes and validates campaign file contents (YAML subset or JSON).
+func Parse(data []byte) (*Campaign, error) {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("empty campaign file")
+	}
+	jsonDoc := trimmed
+	if trimmed[0] != '{' {
+		v, err := parseYAML(data)
+		if err != nil {
+			return nil, err
+		}
+		jsonDoc, err = json.Marshal(v)
+		if err != nil {
+			return nil, fmt.Errorf("re-encoding parsed yaml: %w", err)
+		}
+	}
+	dec := json.NewDecoder(bytes.NewReader(jsonDoc))
+	dec.DisallowUnknownFields()
+	var c Campaign
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("decoding campaign: %w", err)
+	}
+	c.applyDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+func (c *Campaign) applyDefaults() {
+	if c.Meter == "" {
+		c.Meter = "mock"
+	}
+	if c.MockWatts == nil {
+		w := 42.0
+		c.MockWatts = &w
+	}
+	if c.Executor == "" {
+		c.Executor = ExecutorInProcess
+	}
+	if c.Parallel == nil {
+		p := 1
+		c.Parallel = &p
+	}
+}
+
+// ValidateMeter checks an energy-backend name against the known set. It is
+// the single meter-name authority shared by campaign files, the CLI run
+// flags, and worker children, so a new backend cannot be accepted by one
+// entry point and rejected by another.
+func ValidateMeter(name string) error {
+	switch name {
+	case "mock", "rapl":
+		return nil
+	}
+	return fmt.Errorf("unknown meter %q (want mock|rapl)", name)
+}
+
+// ValidateExec checks the meter/executor/parallelism/timeout invariants
+// shared by campaign files and the CLI run flags, so the two entry points
+// can never drift: the executor name must be known, parallelism above 1 and
+// per-trial timeouts both require the subprocess executor (in-process
+// trials share one address space and meter, cannot overlap, and cannot be
+// killed safely), and parallelism is refused outright under the rapl meter
+// — concurrent trials all read the same machine-wide package counters, so
+// every energy delta would silently include the other in-flight trials'
+// work.
+func ValidateExec(meterName, executor string, parallel int, timeout time.Duration) error {
+	switch executor {
+	case ExecutorInProcess, ExecutorSubprocess:
+	default:
+		return fmt.Errorf("unknown executor %q (want %s|%s)", executor, ExecutorInProcess, ExecutorSubprocess)
+	}
+	if parallel < 1 {
+		return fmt.Errorf("parallel must be at least 1, got %d", parallel)
+	}
+	if parallel > 1 && executor != ExecutorSubprocess {
+		return fmt.Errorf("parallel %d requires the subprocess executor: in-process trials share one address space and meter and cannot run concurrently", parallel)
+	}
+	if parallel > 1 && meterName == "rapl" {
+		return fmt.Errorf("parallel %d with the rapl meter would corrupt energy numbers: concurrent trials share the package energy counters (absolute characterization needs parallel 1)", parallel)
+	}
+	if timeout < 0 {
+		return fmt.Errorf("trial timeout must be non-negative, got %v", timeout)
+	}
+	if timeout > 0 && executor != ExecutorSubprocess {
+		return fmt.Errorf("a trial timeout requires the subprocess executor: an in-process trial cannot be killed safely")
+	}
+	return nil
+}
+
+// Validate checks the campaign's cross-field invariants and that every
+// space expands into a valid harness.Space (spec names resolve against the
+// catalog, thread counts are positive, and so on).
+func (c *Campaign) Validate() error {
+	if err := ValidateMeter(c.Meter); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	if c.MockWatts != nil && *c.MockWatts <= 0 {
+		return fmt.Errorf("campaign: mock_watts must be positive, got %v", *c.MockWatts)
+	}
+	timeout, err := c.Timeout()
+	if err != nil {
+		return err
+	}
+	if err := ValidateExec(c.Meter, c.Executor, *c.Parallel, timeout); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	if c.Resume && c.Store == "" {
+		return fmt.Errorf("campaign: resume requires a store")
+	}
+	if len(c.Spaces) == 0 {
+		return fmt.Errorf("campaign: no spaces declared")
+	}
+	for i := range c.Spaces {
+		space, err := c.Spaces[i].Space()
+		if err == nil {
+			err = space.Validate()
+		}
+		if err != nil {
+			return fmt.Errorf("campaign: space %s: %w", c.Spaces[i].label(i), err)
+		}
+	}
+	return nil
+}
+
+// Timeout parses the trial_timeout field; zero when unset.
+func (c *Campaign) Timeout() (time.Duration, error) {
+	if c.TrialTimeout == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(c.TrialTimeout)
+	if err != nil {
+		return 0, fmt.Errorf("campaign: bad trial_timeout %q: %w", c.TrialTimeout, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("campaign: trial_timeout must be positive, got %v", d)
+	}
+	return d, nil
+}
+
+// LookupSpecs resolves catalog spec names, trimming whitespace. It is the
+// single name-resolution path shared by campaign files and the CLI's
+// --specs flag.
+func LookupSpecs(names []string) ([]bench.Spec, error) {
+	var specs []bench.Spec
+	for _, name := range names {
+		s, err := bench.Lookup(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
+}
+
+// ParsePairs resolves "specA+specB" co-run pair syntax against the catalog.
+// It is the single pair-parsing path shared by campaign files and the
+// CLI's --corun flag.
+func ParsePairs(pairs []string) ([]harness.Pair, error) {
+	var out []harness.Pair
+	for _, pair := range pairs {
+		nameA, nameB, ok := strings.Cut(pair, "+")
+		if !ok {
+			return nil, fmt.Errorf("corun pair %q is not of the form specA+specB", pair)
+		}
+		a, err := bench.Lookup(strings.TrimSpace(nameA))
+		if err != nil {
+			return nil, err
+		}
+		b, err := bench.Lookup(strings.TrimSpace(nameB))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, harness.Pair{A: a, B: b})
+	}
+	return out, nil
+}
+
+func (sc *SpaceConfig) label(i int) string {
+	if sc.Name != "" {
+		return fmt.Sprintf("%q", sc.Name)
+	}
+	return fmt.Sprintf("#%d", i+1)
+}
+
+// Space resolves the declarative space into a runnable harness.Space,
+// looking spec names up in the benchmark catalog and applying the CLI-flag
+// defaults for omitted fields.
+func (sc *SpaceConfig) Space() (harness.Space, error) {
+	space := harness.Space{
+		Reps:      sc.Reps,
+		MinReps:   sc.MinReps,
+		MaxReps:   sc.MaxReps,
+		CVTarget:  0.05,
+		Warmup:    1,
+		IterScale: 1.0,
+		MaxCV:     0.2,
+	}
+	if space.Reps == 0 && space.MinReps == 0 {
+		space.Reps = 3
+	}
+	if sc.CVTarget != nil {
+		space.CVTarget = *sc.CVTarget
+	}
+	if sc.Warmup != nil {
+		space.Warmup = *sc.Warmup
+	}
+	if sc.IterScal != nil {
+		space.IterScale = *sc.IterScal
+	}
+	if sc.MaxCV != nil {
+		space.MaxCV = *sc.MaxCV
+	}
+	if space.IterScale <= 0 {
+		return space, fmt.Errorf("iter_scale must be positive, got %v", space.IterScale)
+	}
+	if len(sc.Specs) == 0 && len(sc.Corun) == 0 {
+		return space, fmt.Errorf("space declares neither specs nor corun pairs")
+	}
+	var err error
+	if space.Specs, err = LookupSpecs(sc.Specs); err != nil {
+		return space, err
+	}
+	if space.Pairs, err = ParsePairs(sc.Corun); err != nil {
+		return space, err
+	}
+	space.ThreadCounts = sc.Threads
+	if len(space.ThreadCounts) == 0 {
+		space.ThreadCounts = []int{1, 2} // mirror the CLI --threads default
+	}
+	placements := sc.Placements
+	if len(placements) == 0 {
+		placements = []string{"none"}
+	}
+	for _, p := range placements {
+		pl, err := harness.ParsePlacement(p)
+		if err != nil {
+			return space, err
+		}
+		space.Placements = append(space.Placements, pl)
+	}
+	return space, nil
+}
+
+// Plan expands every space in declaration order into one combined trial
+// list, re-sequencing Seq across space boundaries so the campaign reads as
+// a single plan to schedulers, dry runs, and progress logs.
+func (c *Campaign) Plan() ([]harness.Trial, error) {
+	var all []harness.Trial
+	for i := range c.Spaces {
+		space, err := c.Spaces[i].Space()
+		if err != nil {
+			return nil, fmt.Errorf("campaign: space %s: %w", c.Spaces[i].label(i), err)
+		}
+		trials, err := harness.Plan(space)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: space %s: %w", c.Spaces[i].label(i), err)
+		}
+		for _, t := range trials {
+			t.Seq = len(all)
+			all = append(all, t)
+		}
+	}
+	return all, nil
+}

@@ -1,0 +1,197 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"energybench/internal/harness"
+)
+
+const validYAML = `
+name: unit
+meter: mock
+mock_watts: 30
+executor: subprocess
+parallel: 4
+trial_timeout: 90s
+store: results.jsonl
+resume: true
+spaces:
+  - name: solo
+    specs: [int-alu, fp-mac]
+    threads: [1, 2]
+    reps: 2
+    warmup: 0
+    iter_scale: 0.05
+  - name: corun
+    corun: [int-alu+chase-l1]
+    threads: [1]
+    min_reps: 2
+    max_reps: 6
+    cv_target: 0.1
+`
+
+func TestParseValidYAMLCampaign(t *testing.T) {
+	c, err := Parse([]byte(validYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "unit" || c.Executor != ExecutorSubprocess || *c.Parallel != 4 || !c.Resume {
+		t.Errorf("top-level fields mis-decoded: %+v", c)
+	}
+	d, err := c.Timeout()
+	if err != nil || d != 90*time.Second {
+		t.Errorf("Timeout() = %v, %v; want 90s", d, err)
+	}
+	if len(c.Spaces) != 2 {
+		t.Fatalf("got %d spaces, want 2", len(c.Spaces))
+	}
+	solo, err := c.Spaces[0].Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(solo.Specs) != 2 || solo.Reps != 2 || solo.Warmup != 0 || solo.IterScale != 0.05 {
+		t.Errorf("solo space mis-resolved: %+v", solo)
+	}
+	// Defaults for fields the file omits must mirror the CLI flag defaults.
+	if solo.CVTarget != 0.05 || solo.MaxCV != 0.2 {
+		t.Errorf("solo defaults: cv_target=%v max_cv=%v, want 0.05/0.2", solo.CVTarget, solo.MaxCV)
+	}
+	corun, err := c.Spaces[1].Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corun.Pairs) != 1 || corun.MinReps != 2 || corun.MaxReps != 6 || corun.CVTarget != 0.1 {
+		t.Errorf("corun space mis-resolved: %+v", corun)
+	}
+	// Warmup omitted → CLI default 1.
+	if corun.Warmup != 1 {
+		t.Errorf("corun warmup = %d, want default 1", corun.Warmup)
+	}
+}
+
+func TestParseJSONCampaign(t *testing.T) {
+	src := `{
+  "name": "json-campaign",
+  "executor": "subprocess",
+  "parallel": 2,
+  "spaces": [{"specs": ["int-alu"], "threads": [1], "reps": 1}]
+}`
+	c, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "json-campaign" || c.Meter != "mock" || *c.MockWatts != 42 {
+		t.Errorf("JSON campaign defaults wrong: %+v", c)
+	}
+}
+
+func TestPlanRenumbersAcrossSpaces(t *testing.T) {
+	c, err := Parse([]byte(validYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials, err := c.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// solo: 2 specs × 2 threads × 1 placement = 4; corun: 1 pair × 1 thread.
+	if len(trials) != 5 {
+		t.Fatalf("got %d trials, want 5", len(trials))
+	}
+	for i, tr := range trials {
+		if tr.Seq != i {
+			t.Errorf("trial %d has Seq %d; campaign plans must be globally sequenced", i, tr.Seq)
+		}
+	}
+	if !trials[4].IsCoRun() {
+		t.Errorf("last trial should be the co-run, got %+v", trials[4])
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.yaml")
+	if err := os.WriteFile(path, []byte(validYAML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "unit" {
+		t.Errorf("loaded campaign name %q", c.Name)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.yaml")); err == nil {
+		t.Error("loading a missing file should error")
+	}
+}
+
+func TestParseRejectsInvalidCampaigns(t *testing.T) {
+	base := func(mutate string) string {
+		return strings.Replace(validYAML, "parallel: 4", mutate, 1)
+	}
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown key", "name: x\nbogus_key: 1\nspaces:\n  - specs: [int-alu]\n", "bogus_key"},
+		{"unknown meter", "meter: watts-o-matic\nspaces:\n  - specs: [int-alu]\n", "unknown meter"},
+		{"unknown executor", "executor: remote\nspaces:\n  - specs: [int-alu]\n", "unknown executor"},
+		{"parallel without subprocess", "parallel: 4\nspaces:\n  - specs: [int-alu]\n", "requires the subprocess executor"},
+		{"negative parallel", base("parallel: -1"), "parallel must be at least 1"},
+		{"explicit zero parallel", base("parallel: 0"), "parallel must be at least 1"},
+		{"timeout without subprocess", "trial_timeout: 5s\nspaces:\n  - specs: [int-alu]\n", "requires the subprocess executor"},
+		{"bad timeout", strings.Replace(validYAML, "90s", "ninety", 1), "bad trial_timeout"},
+		{"negative timeout", strings.Replace(validYAML, "90s", "-5s", 1), "must be positive"},
+		{"resume without store", strings.Replace(validYAML, "store: results.jsonl", "", 1), "resume requires a store"},
+		{"no spaces", "name: x\n", "no spaces"},
+		{"empty space", "spaces:\n  - name: hollow\n", "neither specs nor corun"},
+		{"unknown spec", "spaces:\n  - specs: [warp-drive]\n", "warp-drive"},
+		{"bad corun shape", "spaces:\n  - corun: [int-alu]\n", "specA+specB"},
+		{"zero threads", "spaces:\n  - specs: [int-alu]\n    threads: [0]\n", "thread count"},
+		{"bad iter scale", "spaces:\n  - specs: [int-alu]\n    iter_scale: -1\n", "iter_scale"},
+		{"empty file", "   \n", "empty"},
+		{"zero mock watts", "mock_watts: 0\nspaces:\n  - specs: [int-alu]\n", "mock_watts must be positive"},
+		{"negative mock watts", "mock_watts: -5\nspaces:\n  - specs: [int-alu]\n", "mock_watts must be positive"},
+		{"rapl with parallel", "meter: rapl\nexecutor: subprocess\nparallel: 4\nspaces:\n  - specs: [int-alu]\n", "corrupt energy numbers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSpaceConfigExplicitZeros(t *testing.T) {
+	// warmup: 0 and cv_target: 0 are meaningful values, distinct from the
+	// omitted-field defaults (1 and 0.05).
+	src := `
+spaces:
+  - specs: [int-alu]
+    warmup: 0
+    cv_target: 0
+    max_cv: 0
+`
+	c, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := c.Spaces[0].Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Warmup != 0 || sp.CVTarget != 0 || sp.MaxCV != 0 {
+		t.Errorf("explicit zeros lost: warmup=%d cv_target=%v max_cv=%v", sp.Warmup, sp.CVTarget, sp.MaxCV)
+	}
+	if _, err := harness.Plan(sp); err != nil {
+		t.Errorf("explicit-zero space should plan cleanly: %v", err)
+	}
+}

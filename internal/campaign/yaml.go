@@ -1,0 +1,389 @@
+package campaign
+
+// A dependency-free parser for the YAML subset campaign files use. Campaign
+// files are flat, regular documents — nested block mappings, block sequences
+// whose items are scalars or mappings, flow sequences ([a, b]), quoted and
+// plain scalars, and # comments — so a small indentation-driven recursive
+// parser covers them without pulling a YAML dependency into the module.
+// Anchors, aliases, multi-document streams, multiline scalars, and tags are
+// deliberately out of scope and fail with a line-numbered error.
+//
+// The parse result uses the same shapes encoding/json produces
+// (map[string]any, []any, string, float64, bool, nil), so a parsed document
+// can round-trip through encoding/json into a typed struct — which is
+// exactly how Load decodes campaigns, YAML and JSON alike, with unknown-key
+// checking from a single code path.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// yamlLine is one significant source line: indentation, content with
+// comments stripped, and the 1-based source line number for errors.
+type yamlLine struct {
+	indent int
+	text   string
+	num    int
+}
+
+// parseYAML parses the YAML subset into JSON-shaped Go values.
+func parseYAML(data []byte) (any, error) {
+	lines, err := splitYAMLLines(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	v, rest, err := parseYAMLBlock(lines, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) > 0 {
+		return nil, fmt.Errorf("yaml: line %d: unexpected de-indented content %q", rest[0].num, rest[0].text)
+	}
+	return v, nil
+}
+
+// splitYAMLLines strips comments and blank lines, measures indentation, and
+// rejects constructs outside the subset (tabs, document markers).
+func splitYAMLLines(src string) ([]yamlLine, error) {
+	var out []yamlLine
+	for i, raw := range strings.Split(src, "\n") {
+		num := i + 1
+		// YAML forbids tabs only in indentation; a tab inside a quoted
+		// scalar or comment is fine.
+		if leading := raw[:len(raw)-len(strings.TrimLeft(raw, " \t"))]; strings.Contains(leading, "\t") {
+			return nil, fmt.Errorf("yaml: line %d: tabs are not allowed for indentation", num)
+		}
+		text := stripYAMLComment(raw)
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" {
+			continue
+		}
+		if trimmed == "---" || trimmed == "..." {
+			if len(out) == 0 && trimmed == "---" {
+				continue // leading document marker is harmless
+			}
+			return nil, fmt.Errorf("yaml: line %d: multi-document streams are not supported", num)
+		}
+		indent := len(text) - len(strings.TrimLeft(text, " "))
+		out = append(out, yamlLine{indent: indent, text: trimmed, num: num})
+	}
+	return out, nil
+}
+
+// quoteOpener reports whether a quote character at index i begins a quoted
+// token rather than sitting inside a plain scalar (as in `bob's sweep`):
+// quotes only open at the start of the line or after a separator.
+func quoteOpener(s string, i int) bool {
+	if i == 0 {
+		return true
+	}
+	switch s[i-1] {
+	case ' ', '[', ',':
+		return true
+	}
+	return false
+}
+
+// stripYAMLComment removes a trailing # comment, respecting quoted strings.
+// An apostrophe inside a plain scalar does not open a quote, and escaped
+// quotes (” inside single quotes, \" inside double quotes) do not close
+// one.
+func stripYAMLComment(s string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inSingle:
+			if c == '\'' {
+				if i+1 < len(s) && s[i+1] == '\'' {
+					i++ // escaped '' stays inside the string
+				} else {
+					inSingle = false
+				}
+			}
+		case inDouble:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inDouble = false
+			}
+		case c == '\'' && quoteOpener(s, i):
+			inSingle = true
+		case c == '"' && quoteOpener(s, i):
+			inDouble = true
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			// A # starts a comment at line start or after whitespace.
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// parseYAMLBlock parses one block (mapping or sequence) whose entries sit at
+// exactly the given indent, returning the unconsumed tail.
+func parseYAMLBlock(lines []yamlLine, indent int) (any, []yamlLine, error) {
+	if len(lines) == 0 {
+		return nil, lines, nil
+	}
+	if lines[0].indent != indent {
+		return nil, nil, fmt.Errorf("yaml: line %d: unexpected indentation", lines[0].num)
+	}
+	if isSeqItem(lines[0].text) {
+		return parseYAMLSeq(lines, indent)
+	}
+	return parseYAMLMap(lines, indent)
+}
+
+func isSeqItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+func parseYAMLMap(lines []yamlLine, indent int) (any, []yamlLine, error) {
+	m := map[string]any{}
+	for len(lines) > 0 {
+		ln := lines[0]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, nil, fmt.Errorf("yaml: line %d: unexpected indentation", ln.num)
+		}
+		if isSeqItem(ln.text) {
+			return nil, nil, fmt.Errorf("yaml: line %d: sequence item inside a mapping (indent list items under their key)", ln.num)
+		}
+		key, rest, err := splitYAMLKey(ln)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, nil, fmt.Errorf("yaml: line %d: duplicate key %q", ln.num, key)
+		}
+		lines = lines[1:]
+		if rest != "" {
+			v, err := parseYAMLScalar(rest, ln.num)
+			if err != nil {
+				return nil, nil, err
+			}
+			m[key] = v
+			continue
+		}
+		// Empty value: a nested block indented deeper, a block sequence at
+		// the key's own indent (the common YAML style for lists), or null.
+		switch {
+		case len(lines) > 0 && lines[0].indent > indent:
+			v, tail, err := parseYAMLBlock(lines, lines[0].indent)
+			if err != nil {
+				return nil, nil, err
+			}
+			m[key] = v
+			lines = tail
+		case len(lines) > 0 && lines[0].indent == indent && isSeqItem(lines[0].text):
+			v, tail, err := parseYAMLSeq(lines, indent)
+			if err != nil {
+				return nil, nil, err
+			}
+			m[key] = v
+			lines = tail
+		default:
+			m[key] = nil
+		}
+	}
+	return m, lines, nil
+}
+
+func parseYAMLSeq(lines []yamlLine, indent int) (any, []yamlLine, error) {
+	items := []any{}
+	for len(lines) > 0 {
+		ln := lines[0]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, nil, fmt.Errorf("yaml: line %d: unexpected indentation", ln.num)
+		}
+		if !isSeqItem(ln.text) {
+			break
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		if body == "" {
+			// "-" alone: the item is a nested block on the following lines.
+			lines = lines[1:]
+			if len(lines) == 0 || lines[0].indent <= indent {
+				items = append(items, nil)
+				continue
+			}
+			v, tail, err := parseYAMLBlock(lines, lines[0].indent)
+			if err != nil {
+				return nil, nil, err
+			}
+			items = append(items, v)
+			lines = tail
+			continue
+		}
+		if _, _, err := splitYAMLKey(yamlLine{text: body, num: ln.num}); err == nil {
+			// "- key: ..." starts an inline mapping item: rewrite the dash
+			// as indentation so the item parses as a mapping whose first
+			// entry is on the dash line and whose later entries sit at the
+			// body's column (dash column + "- " width).
+			bodyIndent := indent + (len(ln.text) - len(body))
+			rewritten := append([]yamlLine{{indent: bodyIndent, text: body, num: ln.num}}, lines[1:]...)
+			v, tail, err := parseYAMLMap(rewritten, bodyIndent)
+			if err != nil {
+				return nil, nil, err
+			}
+			items = append(items, v)
+			lines = tail
+			continue
+		}
+		// Plain scalar item.
+		v, err := parseYAMLScalar(body, ln.num)
+		if err != nil {
+			return nil, nil, err
+		}
+		items = append(items, v)
+		lines = lines[1:]
+	}
+	return items, lines, nil
+}
+
+// splitYAMLKey splits "key: value" / "key:" into key and trailing value,
+// supporting quoted keys. A missing colon is an error.
+func splitYAMLKey(ln yamlLine) (key, rest string, err error) {
+	text := ln.text
+	if len(text) > 0 && (text[0] == '"' || text[0] == '\'') {
+		q := text[0]
+		end := strings.IndexByte(text[1:], q)
+		if end < 0 {
+			return "", "", fmt.Errorf("yaml: line %d: unterminated quoted key", ln.num)
+		}
+		key = text[1 : 1+end]
+		tail := strings.TrimSpace(text[2+end:])
+		if !strings.HasPrefix(tail, ":") {
+			return "", "", fmt.Errorf("yaml: line %d: expected ':' after quoted key", ln.num)
+		}
+		return key, strings.TrimSpace(tail[1:]), nil
+	}
+	i := strings.Index(text, ":")
+	if i < 0 {
+		return "", "", fmt.Errorf("yaml: line %d: expected 'key: value', got %q", ln.num, text)
+	}
+	// "key:value" without a space is a plain scalar in YAML, but in config
+	// files it is almost always a typo; require ": " or line-ending ":".
+	if i+1 < len(text) && text[i+1] != ' ' {
+		return "", "", fmt.Errorf("yaml: line %d: missing space after ':' in %q", ln.num, text)
+	}
+	return strings.TrimSpace(text[:i]), strings.TrimSpace(text[i+1:]), nil
+}
+
+// parseYAMLScalar parses a scalar or flow sequence into a JSON-shaped value.
+func parseYAMLScalar(s string, num int) (any, error) {
+	switch {
+	case s == "":
+		return nil, nil
+	case strings.HasPrefix(s, "["):
+		return parseYAMLFlowSeq(s, num)
+	case strings.HasPrefix(s, "{"):
+		return nil, fmt.Errorf("yaml: line %d: flow mappings are not supported", num)
+	case strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*") || strings.HasPrefix(s, "!"):
+		return nil, fmt.Errorf("yaml: line %d: anchors, aliases, and tags are not supported", num)
+	case strings.HasPrefix(s, "|") || strings.HasPrefix(s, ">"):
+		return nil, fmt.Errorf("yaml: line %d: block scalars are not supported", num)
+	}
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '\'') {
+		if s[len(s)-1] != s[0] {
+			return nil, fmt.Errorf("yaml: line %d: unterminated quoted string", num)
+		}
+		if s[0] == '"' {
+			out, err := strconv.Unquote(s)
+			if err != nil {
+				return nil, fmt.Errorf("yaml: line %d: bad double-quoted string: %v", num, err)
+			}
+			return out, nil
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	switch s {
+	case "true", "True":
+		return true, nil
+	case "false", "False":
+		return false, nil
+	case "null", "Null", "~":
+		return nil, nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return float64(n), nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}
+
+// parseYAMLFlowSeq parses a single-line flow sequence like [a, "b", 3].
+// Nested flow collections are outside the subset.
+func parseYAMLFlowSeq(s string, num int) (any, error) {
+	if !strings.HasSuffix(s, "]") {
+		return nil, fmt.Errorf("yaml: line %d: unterminated flow sequence %q", num, s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	items := []any{}
+	if inner == "" {
+		return items, nil
+	}
+	for _, part := range splitFlowItems(inner) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("yaml: line %d: empty element in flow sequence %q", num, s)
+		}
+		if strings.HasPrefix(part, "[") || strings.HasPrefix(part, "{") {
+			return nil, fmt.Errorf("yaml: line %d: nested flow collections are not supported", num)
+		}
+		v, err := parseYAMLScalar(part, num)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, v)
+	}
+	return items, nil
+}
+
+// splitFlowItems splits on commas that are outside quotes, with the same
+// token-start quote rules as stripYAMLComment so `[don't, x]` stays two
+// plain scalars.
+func splitFlowItems(s string) []string {
+	var parts []string
+	inSingle, inDouble := false, false
+	last := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inSingle:
+			if c == '\'' {
+				if i+1 < len(s) && s[i+1] == '\'' {
+					i++
+				} else {
+					inSingle = false
+				}
+			}
+		case inDouble:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inDouble = false
+			}
+		case c == '\'' && quoteOpener(s, i):
+			inSingle = true
+		case c == '"' && quoteOpener(s, i):
+			inDouble = true
+		case c == ',':
+			parts = append(parts, s[last:i])
+			last = i + 1
+		}
+	}
+	return append(parts, s[last:])
+}

@@ -1,0 +1,213 @@
+package campaign
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLCampaignShape(t *testing.T) {
+	src := `
+# a full campaign-shaped document
+name: smoke          # inline comment
+meter: mock
+mock_watts: 35.5
+parallel: 4
+resume: true
+store: "out dir/results.jsonl"
+spaces:
+  - name: solo
+    specs: [int-alu, fp-mac]
+    threads: [1, 2]
+    iter_scale: 0.05
+  - name: corun
+    corun:
+      - int-alu+fp-mac
+    threads: [1]
+`
+	got, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"name":       "smoke",
+		"meter":      "mock",
+		"mock_watts": 35.5,
+		"parallel":   float64(4),
+		"resume":     true,
+		"store":      "out dir/results.jsonl",
+		"spaces": []any{
+			map[string]any{
+				"name":       "solo",
+				"specs":      []any{"int-alu", "fp-mac"},
+				"threads":    []any{float64(1), float64(2)},
+				"iter_scale": 0.05,
+			},
+			map[string]any{
+				"name":    "corun",
+				"corun":   []any{"int-alu+fp-mac"},
+				"threads": []any{float64(1)},
+			},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parsed document mismatch:\n got: %#v\nwant: %#v", got, want)
+	}
+}
+
+func TestParseYAMLScalars(t *testing.T) {
+	src := `
+str: plain string
+squote: 'single ''quoted'''
+dquote: "tab\tend"
+truthy: true
+falsy: false
+nothing: null
+tilde: ~
+empty:
+int: -7
+float: 2.5
+duration: 90s
+flow_empty: []
+flow_quoted: ["a, b", 'c']
+`
+	got, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.(map[string]any)
+	checks := map[string]any{
+		"str":         "plain string",
+		"squote":      "single 'quoted'",
+		"dquote":      "tab\tend",
+		"truthy":      true,
+		"falsy":       false,
+		"nothing":     nil,
+		"tilde":       nil,
+		"empty":       nil,
+		"int":         float64(-7),
+		"float":       2.5,
+		"duration":    "90s",
+		"flow_empty":  []any{},
+		"flow_quoted": []any{"a, b", "c"},
+	}
+	for k, want := range checks {
+		if gotV, ok := m[k]; !ok || !reflect.DeepEqual(gotV, want) {
+			t.Errorf("%s = %#v (present=%v), want %#v", k, gotV, ok, want)
+		}
+	}
+}
+
+func TestParseYAMLSequenceAtKeyIndent(t *testing.T) {
+	// The common YAML style puts list items at the same column as their
+	// key; both that and the indented form must parse identically.
+	src := `
+spaces:
+- name: solo
+  specs: [int-alu]
+- name: corun
+threads: [1]
+`
+	got, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"spaces": []any{
+			map[string]any{"name": "solo", "specs": []any{"int-alu"}},
+			map[string]any{"name": "corun"},
+		},
+		"threads": []any{float64(1)},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %#v, want %#v", got, want)
+	}
+}
+
+func TestParseYAMLNestedDashItems(t *testing.T) {
+	src := `
+items:
+  -
+    name: standalone-dash
+  - plain-scalar
+`
+	got, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{"items": []any{
+		map[string]any{"name": "standalone-dash"},
+		"plain-scalar",
+	}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %#v, want %#v", got, want)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"tab indent", "a: 1\n\tb: 2\n", "tabs"},
+		{"multi-doc", "a: 1\n---\nb: 2\n", "multi-document"},
+		{"flow map", "a: {b: 1}\n", "flow mappings"},
+		{"anchor", "a: &x 1\n", "anchors"},
+		{"block scalar", "a: |\n  text\n", "block scalars"},
+		{"missing colon", "just a line\n", "key: value"},
+		{"missing space after colon", "a:1\n", "missing space"},
+		{"duplicate key", "a: 1\na: 2\n", "duplicate key"},
+		{"unterminated flow", "a: [1, 2\n", "unterminated flow"},
+		{"nested flow", "a: [[1], 2]\n", "nested flow"},
+		{"bad deep indent", "a: 1\n    b: 2\n", "indentation"},
+		{"seq in map", "a: 1\n- b\n", "sequence item inside a mapping"},
+		{"empty", "   \n# only comments\n", "empty document"},
+		{"unterminated dquote", "a: \"oops\n", "unterminated quoted"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("parse succeeded, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestStripYAMLCommentRespectsQuotes(t *testing.T) {
+	cases := map[string]string{
+		`key: "a # not comment" # real`: `key: "a # not comment" `,
+		`key: 'x # y'`:                  `key: 'x # y'`,
+		`key: value#notcomment`:         `key: value#notcomment`,
+		`# whole line`:                  ``,
+		// An apostrophe inside a plain scalar must not open a quote and
+		// swallow the trailing comment.
+		`name: bob's sweep  # nightly`: `name: bob's sweep  `,
+		`key: 'don''t # keep' # cut`:   `key: 'don''t # keep' `,
+	}
+	for in, want := range cases {
+		if got := stripYAMLComment(in); got != want {
+			t.Errorf("stripYAMLComment(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseYAMLApostropheInPlainScalars(t *testing.T) {
+	src := `
+name: bob's sweep # comment
+list: [don't, it's]
+`
+	got, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"name": "bob's sweep",
+		"list": []any{"don't", "it's"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %#v, want %#v", got, want)
+	}
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -96,7 +97,12 @@ func (e *InProcess) Execute(ctx context.Context, t Trial) (Result, error) {
 				workUnit{t.SpecB.Kernel, bench.NewWorkspace(*t.SpecB, seed(2*i+1)), t.ItersB, 1})
 		}
 	}
-	cpus := cpuAssignment(t.Placement, len(units))
+	cpus := t.CPUs
+	if cpus == nil {
+		cpus = cpuAssignment(t.Placement, len(units))
+	} else if len(cpus) != len(units) {
+		return res, fmt.Errorf("harness: trial has %d explicit CPUs for %d worker threads", len(cpus), len(units))
+	}
 
 	var conv stats.Accumulator
 	for rep := 0; rep < t.Warmup+t.MaxReps; rep++ {

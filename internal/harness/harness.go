@@ -222,18 +222,25 @@ func (r *Runner) RunPlan(ctx context.Context, trials []Trial, sink ResultSink) e
 			return fmt.Errorf("harness: sink: %w", err)
 		}
 		if r.Log != nil {
-			label := res.Spec
-			if res.IsCoRun() {
-				label += "+" + res.SpecB
-			}
-			conv := ""
-			if res.Converged {
-				conv = " (converged)"
-			}
-			r.Log("[%d/%d] %-20s threads=%d placement=%-7s reps=%d%s E=%.3fJ t=%.4fs P=%.2fW EDP=%.4f",
-				i+1, len(trials), label, res.Threads, res.Placement, len(res.Samples), conv,
-				res.EnergyJ.Mean, res.TimeS.Mean, res.PowerW.Mean, res.EDP)
+			logTrialResult(r.Log, i+1, len(trials), res)
 		}
 	}
 	return nil
+}
+
+// logTrialResult emits the one-line progress record shared by the serial
+// Runner and the parallel Scheduler, so both sweep modes produce
+// identically shaped progress output.
+func logTrialResult(log func(format string, args ...any), finished, total int, res Result) {
+	label := res.Spec
+	if res.IsCoRun() {
+		label += "+" + res.SpecB
+	}
+	conv := ""
+	if res.Converged {
+		conv = " (converged)"
+	}
+	log("[%d/%d] %-20s threads=%d placement=%-7s reps=%d%s E=%.3fJ t=%.4fs P=%.2fW EDP=%.4f",
+		finished, total, label, res.Threads, res.Placement, len(res.Samples), conv,
+		res.EnergyJ.Mean, res.TimeS.Mean, res.PowerW.Mean, res.EDP)
 }

@@ -38,6 +38,12 @@ type Trial struct {
 	// MaxCV is the outlier-rejection threshold applied when summarizing
 	// samples; 0 disables rejection.
 	MaxCV float64 `json:"max_cv,omitempty"`
+	// CPUs, when set, is the explicit per-unit CPU assignment (one entry
+	// per worker thread, co-run units interleaved A,B,A,B…), overriding
+	// the placement policy's own topology walk. The parallel Scheduler
+	// fills it in when allocating a trial onto the currently free cores,
+	// and it travels to subprocess workers with the rest of the trial.
+	CPUs []int `json:"cpus,omitempty"`
 }
 
 // Name labels the trial for logs and errors: "specA" or "specA+specB".

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+// WorkerProtocolVersion is the version of the JSON envelope exchanged
+// between the Subprocess executor and a `worker-trial` child. The child
+// stamps it into every envelope; the parent rejects envelopes from a newer
+// protocol so a version-skewed binary fails loudly instead of silently
+// misparsing.
+const WorkerProtocolVersion = 1
+
+// WorkerEnvelope is the worker child's entire stdout: either the measured
+// result or a structured execution error, never both. Keeping the protocol
+// to one JSON document per process keeps crash detection trivial — anything
+// that does not parse as an envelope is a crashed or misbehaving child.
+type WorkerEnvelope struct {
+	V      int     `json:"v"`
+	Result *Result `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// TrialError attributes an execution failure to one planned trial. The
+// Scheduler records these and keeps sweeping: a crashed or timed-out worker
+// child loses exactly one trial, not the whole campaign.
+type TrialError struct {
+	Trial Trial
+	Err   error
+}
+
+func (e *TrialError) Error() string {
+	return fmt.Sprintf("trial %d (%s/t%d/%s): %v",
+		e.Trial.Seq, e.Trial.Name(), e.Trial.Threads, e.Trial.Placement, e.Err)
+}
+
+func (e *TrialError) Unwrap() error { return e.Err }
+
+// Subprocess executes each trial in a freshly exec'd single-purpose child
+// process, so pinning, warm-up, and metering happen in a quiet address space
+// unperturbed by the coordinator's own GC cycles and goroutines (the
+// isolation nanoBench argues is what makes micro-benchmark numbers
+// trustworthy). The trial is serialized as JSON on the child's stdin; the
+// child replies with one WorkerEnvelope on stdout. A crash, timeout, or
+// protocol violation surfaces as an error for that trial only — callers like
+// the Scheduler continue the sweep.
+type Subprocess struct {
+	// Binary is the executable to spawn, typically the running energybench
+	// binary itself (os.Executable()).
+	Binary string
+	// Args is the full argument vector after the binary name, e.g.
+	// ["worker-trial", "--meter=mock", "--mock-watts=42"]. The caller owns
+	// meter configuration; this executor is meter-agnostic.
+	Args []string
+	// Env entries are appended to the child's inherited environment.
+	// Tests use this to make a re-exec'd test binary act as the CLI.
+	Env []string
+	// Timeout bounds one trial's wall clock; 0 means no limit. On expiry the
+	// child is killed and the trial fails with a timeout error.
+	Timeout time.Duration
+}
+
+// stderrTailLimit bounds how much child stderr is quoted in crash errors.
+const stderrTailLimit = 2048
+
+// Execute serializes the trial to a child process and decodes its envelope.
+func (e *Subprocess) Execute(ctx context.Context, t Trial) (Result, error) {
+	if e.Binary == "" {
+		return Result{}, fmt.Errorf("harness: subprocess executor has no binary")
+	}
+	payload, err := json.Marshal(t)
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: encoding trial: %w", err)
+	}
+	parent := ctx
+	if e.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.Timeout)
+		defer cancel()
+	}
+	cmd := exec.CommandContext(ctx, e.Binary, e.Args...)
+	cmd.Stdin = bytes.NewReader(payload)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	cmd.Env = append(cmd.Environ(), e.Env...)
+	// After the child is killed (timeout, cancellation), don't wait forever
+	// for its stdio pipes: a grandchild inheriting stdout would otherwise
+	// wedge the whole sweep on one dead worker.
+	cmd.WaitDelay = 3 * time.Second
+	runErr := cmd.Run()
+
+	// A cancellation or deadline on the caller's own context is the
+	// caller's story (sweep-level SIGINT or budget) and must not be
+	// misreported as a per-trial timeout; only a deadline this executor
+	// added itself is the worker timing out.
+	if err := parent.Err(); err != nil {
+		return Result{}, err
+	}
+	if e.Timeout > 0 && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return Result{}, fmt.Errorf("harness: worker timed out after %v", e.Timeout)
+	}
+
+	// Decode the envelope even when the child exited nonzero: a worker that
+	// failed cleanly (bad spec, meter error) reports through the envelope
+	// with a nonzero exit, and the structured message beats an exit status.
+	var env WorkerEnvelope
+	if decErr := json.Unmarshal(stdout.Bytes(), &env); decErr != nil {
+		if runErr != nil {
+			return Result{}, fmt.Errorf("harness: worker crashed: %v%s", runErr, stderrTail(stderr.Bytes()))
+		}
+		return Result{}, fmt.Errorf("harness: worker wrote malformed envelope: %v%s", decErr, stderrTail(stderr.Bytes()))
+	}
+	if env.V > WorkerProtocolVersion {
+		return Result{}, fmt.Errorf("harness: worker speaks protocol v%d, this build reads up to v%d (version-skewed binary?)",
+			env.V, WorkerProtocolVersion)
+	}
+	if env.Error != "" {
+		return Result{}, fmt.Errorf("harness: worker: %s", env.Error)
+	}
+	if env.Result == nil {
+		return Result{}, fmt.Errorf("harness: worker envelope has neither result nor error%s", stderrTail(stderr.Bytes()))
+	}
+	return *env.Result, nil
+}
+
+// stderrTail formats the tail of a child's stderr for inclusion in an error.
+func stderrTail(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if s == "" {
+		return ""
+	}
+	if len(s) > stderrTailLimit {
+		s = "…" + s[len(s)-stderrTailLimit:]
+	}
+	return "; stderr: " + s
+}

@@ -64,11 +64,19 @@ type Fit struct {
 	Residuals []Residual `json:"residuals"`
 }
 
-// Predict evaluates the fitted model on an activity vector.
+// Predict evaluates the fitted model on an activity vector. Components are
+// summed in sorted order so the floating-point result — and everything
+// derived from it (residuals, RMSE, golden-file output) — is deterministic
+// across runs despite Go's randomized map iteration.
 func (f Fit) Predict(activity map[bench.Component]float64) float64 {
+	comps := make([]bench.Component, 0, len(activity))
+	for c := range activity {
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
 	p := f.PStaticW
-	for c, x := range activity {
-		p += f.CoeffW[c] * x
+	for _, c := range comps {
+		p += f.CoeffW[c] * activity[c]
 	}
 	return p
 }
