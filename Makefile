@@ -1,7 +1,7 @@
 # Targets mirror .github/workflows/ci.yml so local runs and CI stay in sync.
 
 GO ?= go
-COVER_PKGS := ./internal/stats/... ./internal/meter/... ./internal/model/... ./internal/store/... ./internal/harness/... ./internal/campaign/...
+COVER_PKGS := ./internal/stats/... ./internal/meter/... ./internal/perf/... ./internal/model/... ./internal/store/... ./internal/harness/... ./internal/campaign/...
 COVER_FLOOR := 70
 
 .PHONY: all build test lint staticcheck cover fuzz bench bench-json smoke clean
@@ -49,13 +49,19 @@ bench-json:
 	@echo "wrote BENCH_kernels.json"
 
 # The CI campaign smoke: subprocess executor, core-leasing scheduler,
-# --parallel 4, store + resume, then the analysis pipeline over the store.
+# --parallel 4, store + resume, then the analysis pipeline over the store —
+# plus the mock-counter leg (run --counters → analyze --activity=counters).
 smoke: build
-	rm -f smoke-results.jsonl
+	rm -f smoke-results.jsonl counter-smoke.jsonl
 	./bin/energybench run --campaign testdata/smoke.yaml --progress > /dev/null
 	./bin/energybench analyze --db=smoke-results.jsonl > /dev/null
 	./bin/energybench compare --db=smoke-results.jsonl > /dev/null
-	@echo "smoke campaign OK ($$(wc -l < smoke-results.jsonl) stored results)"
+	./bin/energybench run --specs=int-alu,chase-dram --threads=1,2 \
+		--reps=2 --warmup=0 --iter-scale=0.05 \
+		--counters=default --counter-backend=mock \
+		--store=counter-smoke.jsonl > /dev/null
+	./bin/energybench analyze --db=counter-smoke.jsonl --activity=counters > /dev/null
+	@echo "smoke campaign OK ($$(wc -l < smoke-results.jsonl) stored results, $$(wc -l < counter-smoke.jsonl) with counters)"
 
 clean:
-	rm -rf bin cover.out BENCH_kernels.json smoke-results.jsonl
+	rm -rf bin cover.out BENCH_kernels.json smoke-results.jsonl counter-smoke.jsonl counter-analysis.json

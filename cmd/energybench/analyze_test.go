@@ -279,3 +279,56 @@ func TestParseIntList(t *testing.T) {
 		}
 	}
 }
+
+// TestAnalyzeCountersGolden fits the checked-in counter store, whose powers
+// follow P = 10 + 2·act(int-alu) + 5·act(dram) with activities planted as
+// measured event rates (activity = rate / 1e9), and freezes the output. The
+// store also holds one v1 record without counters, which the counter-based
+// fit must skip and report.
+func TestAnalyzeCountersGolden(t *testing.T) {
+	out := runOK(t, "analyze", "--db=testdata/store-counters.jsonl", "--activity=counters")
+	checkGolden(t, out.Bytes(), filepath.Join("testdata", "analyze-counters.golden.json"))
+
+	var doc struct {
+		Activity          string `json:"activity"`
+		Observations      int    `json:"observations"`
+		SkippedNoCounters int    `json:"skipped_no_counters"`
+		Fit               struct {
+			PStaticW float64            `json:"p_static_w"`
+			CoeffW   map[string]float64 `json:"coeff_w_per_thread"`
+			R2       float64            `json:"r2"`
+		} `json:"fit"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Activity != "counters" {
+		t.Errorf("activity = %q, want counters", doc.Activity)
+	}
+	if doc.Observations != 4 || doc.SkippedNoCounters != 1 {
+		t.Errorf("observations/skipped = %d/%d, want 4/1", doc.Observations, doc.SkippedNoCounters)
+	}
+	if math.Abs(doc.Fit.PStaticW-10) > 1e-6 {
+		t.Errorf("P_static = %v, want 10 (planted)", doc.Fit.PStaticW)
+	}
+	if math.Abs(doc.Fit.CoeffW["int-alu"]-2) > 1e-6 || math.Abs(doc.Fit.CoeffW["dram"]-5) > 1e-6 {
+		t.Errorf("coefficients = %v, want int-alu:2 dram:5 (planted per GEvent/s)", doc.Fit.CoeffW)
+	}
+	if doc.Fit.R2 < 1-1e-9 {
+		t.Errorf("R² = %v, want 1 for noiseless planted data", doc.Fit.R2)
+	}
+}
+
+// TestAnalyzeActivityFlagErrors: a counter fit over a store with no counters
+// must fail with guidance, and unknown activity sources are rejected.
+func TestAnalyzeActivityFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"analyze", "--db=testdata/store.jsonl", "--activity=counters"},
+		{"analyze", "--db=testdata/store.jsonl", "--activity=vibes"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if err := run(context.Background(), args, &stdout, &stderr); err == nil {
+			t.Errorf("run(%v): want error, got nil", args)
+		}
+	}
+}

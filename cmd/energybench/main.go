@@ -28,6 +28,7 @@ import (
 	"energybench/internal/campaign"
 	"energybench/internal/harness"
 	"energybench/internal/model"
+	"energybench/internal/perf"
 	"energybench/internal/store"
 )
 
@@ -106,6 +107,14 @@ run flags:
                       scheduler (default 1; >1 requires --executor=subprocess)
   --trial-timeout=D   kill a worker child running longer than this Go
                       duration (subprocess executor only; default: no limit)
+  --counters=EVENTS   meter hardware activity around every measured region:
+                      a comma-separated event list, or 'default' for
+                      instructions,cycles,l1d-misses,llc-misses,stalled-backend;
+                      scaled counts ride on each result
+  --counter-backend=perf|mock
+                      activity backend (default perf: Linux perf_event_open,
+                      needs perf_event_paranoid <= 2 or CAP_PERFMON; mock
+                      plants deterministic per-component rates for CI)
   --store=PATH        also append results to the JSONL store at PATH,
                       flushed per configuration
   --resume            skip trials whose configuration key the --store file
@@ -124,7 +133,11 @@ store flags:
 
 analyze / compare flags:
   --db=PATH           store file (required)
-  --specs, --threads, --placement   filter the results used`)
+  --specs, --threads, --placement   filter the results used
+  --activity=nominal|counters   (analyze) derive per-component activity from
+                      workload labels × thread counts (nominal, default) or
+                      from measured hardware event rates (counters; needs a
+                      store written by 'run --counters')`)
 }
 
 // spaceFlags registers the exploration-space flags shared by run and list,
@@ -238,6 +251,10 @@ type sweepConfig struct {
 	resume    bool
 	dryRun    bool
 	progress  bool
+	// counters is the normalized activity-metering spec the trials carry;
+	// nil when counters are off. Kept here so the sweep can probe the perf
+	// backend once up front instead of failing per trial.
+	counters *perf.Spec
 }
 
 func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error {
@@ -245,16 +262,18 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	fs.SetOutput(stderr)
 	buildSpace := spaceFlags(fs)
 	var (
-		campaignPath = fs.String("campaign", "", "run a declarative campaign file (YAML or JSON)")
-		meterName    = fs.String("meter", "mock", "energy backend: mock|rapl")
-		mockWatts    = fs.Float64("mock-watts", 42, "constant power modeled by the mock meter")
-		executor     = fs.String("executor", campaign.ExecutorInProcess, "trial backend: inprocess|subprocess")
-		parallel     = fs.Int("parallel", 1, "max concurrently running trials (requires --executor=subprocess when above 1)")
-		timeout      = fs.Duration("trial-timeout", 0, "kill a subprocess worker running longer than this (0: no limit)")
-		storePath    = fs.String("store", "", "append results to the JSONL store at this path, flushed per configuration")
-		resume       = fs.Bool("resume", false, "skip trials already present in the --store file")
-		dryRun       = fs.Bool("dry-run", false, "print the planned trials as JSON without executing them")
-		progress     = fs.Bool("progress", false, "log one line per completed trial to stderr")
+		campaignPath   = fs.String("campaign", "", "run a declarative campaign file (YAML or JSON)")
+		meterName      = fs.String("meter", "mock", "energy backend: mock|rapl")
+		mockWatts      = fs.Float64("mock-watts", 42, "constant power modeled by the mock meter")
+		executor       = fs.String("executor", campaign.ExecutorInProcess, "trial backend: inprocess|subprocess")
+		parallel       = fs.Int("parallel", 1, "max concurrently running trials (requires --executor=subprocess when above 1)")
+		timeout        = fs.Duration("trial-timeout", 0, "kill a subprocess worker running longer than this (0: no limit)")
+		countersFlag   = fs.String("counters", "", "meter hardware activity: comma-separated event names, or 'default'")
+		counterBackend = fs.String("counter-backend", "", "activity backend: perf (default) or mock (requires --counters)")
+		storePath      = fs.String("store", "", "append results to the JSONL store at this path, flushed per configuration")
+		resume         = fs.Bool("resume", false, "skip trials already present in the --store file")
+		dryRun         = fs.Bool("dry-run", false, "print the planned trials as JSON without executing them")
+		progress       = fs.Bool("progress", false, "log one line per completed trial to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -288,6 +307,10 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		if err != nil {
 			return err
 		}
+		ccounters, err := c.CounterSpec()
+		if err != nil {
+			return err
+		}
 		cfg = sweepConfig{
 			trials:    trials,
 			meterName: c.Meter,
@@ -299,6 +322,7 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 			resume:    c.Resume,
 			dryRun:    *dryRun,
 			progress:  *progress,
+			counters:  ccounters,
 		}
 		if c.Name != "" {
 			fmt.Fprintf(stderr, "campaign %q: %d planned trials across %d spaces\n", c.Name, len(trials), len(c.Spaces))
@@ -318,6 +342,17 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		if err != nil {
 			return err
 		}
+		var counters *perf.Spec
+		if *countersFlag != "" {
+			spec, err := perf.Spec{Backend: *counterBackend, Events: splitNonEmpty(*countersFlag)}.Normalize()
+			if err != nil {
+				return err
+			}
+			counters = &spec
+			space.Counters = counters
+		} else if *counterBackend != "" {
+			return fmt.Errorf("--counter-backend requires --counters (name an event set, or 'default')")
+		}
 		trials, err := harness.Plan(space)
 		if err != nil {
 			return err
@@ -333,6 +368,7 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 			resume:    *resume,
 			dryRun:    *dryRun,
 			progress:  *progress,
+			counters:  counters,
 		}
 	}
 	return executeSweep(ctx, cfg, stdout, stderr)
@@ -358,6 +394,15 @@ func executeSweep(ctx context.Context, cfg sweepConfig, stdout, stderr io.Writer
 	}
 	if cfg.dryRun {
 		return writeJSON(stdout, newPlanDoc(trials, skipped))
+	}
+
+	// Probe the perf backend once up front: a host that refuses
+	// perf_event_open (paranoid kernel, non-Linux, missing PMU) should fail
+	// with one actionable error before any trial runs, not once per trial.
+	if cfg.counters != nil && cfg.counters.Backend == perf.BackendPerf {
+		if err := perf.Available(); err != nil {
+			return fmt.Errorf("%w (use --counter-backend=mock for a functional run without PMU access)", err)
+		}
 	}
 
 	var log func(format string, args ...any)
@@ -516,16 +561,22 @@ func cmdStore(args []string, stdout, stderr io.Writer) error {
 
 // analysis is the analyze subcommand's output document.
 type analysis struct {
-	SchemaVersion int              `json:"schema_version"`
-	Observations  int              `json:"observations"`
-	Fit           *model.Fit       `json:"fit"`
-	Marginals     []model.Marginal `json:"marginals"`
+	SchemaVersion int    `json:"schema_version"`
+	Activity      string `json:"activity"`
+	Observations  int    `json:"observations"`
+	// SkippedNoCounters counts stored results dropped from a counter-based
+	// fit because they carry no measured activity vector.
+	SkippedNoCounters int              `json:"skipped_no_counters,omitempty"`
+	Fit               *model.Fit       `json:"fit"`
+	Marginals         []model.Marginal `json:"marginals"`
 }
 
 func cmdAnalyze(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	db := fs.String("db", "", "store file")
+	activity := fs.String("activity", model.ActivityNominal,
+		"activity source for the fit: nominal (thread counts) or counters (measured event rates)")
 	filter := filterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -534,16 +585,32 @@ func cmdAnalyze(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	obs := model.FromResults(results)
+	var obs []model.Observation
+	skipped := 0
+	switch *activity {
+	case model.ActivityNominal:
+		obs = model.FromResults(results)
+	case model.ActivityCounters:
+		if obs, skipped, err = model.FromResultsCounters(results); err != nil {
+			return err
+		}
+		if skipped > 0 {
+			fmt.Fprintf(stderr, "analyze: skipped %d stored results without counters\n", skipped)
+		}
+	default:
+		return fmt.Errorf("--activity=%q: want %s|%s", *activity, model.ActivityNominal, model.ActivityCounters)
+	}
 	fit, err := model.FitPower(obs)
 	if err != nil {
 		return err
 	}
 	return writeJSON(stdout, analysis{
-		SchemaVersion: store.SchemaVersion,
-		Observations:  len(obs),
-		Fit:           fit,
-		Marginals:     model.Marginals(results),
+		SchemaVersion:     store.SchemaVersion,
+		Activity:          *activity,
+		Observations:      len(obs),
+		SkippedNoCounters: skipped,
+		Fit:               fit,
+		Marginals:         model.Marginals(results),
 	})
 }
 

@@ -114,11 +114,28 @@ func newMeter(name string, mockWatts float64) (meter.EnergyMeter, error) {
 	}
 }
 
+// graftKernel restores what a serialized spec cannot carry: the kernel
+// function pointer, plus any catalog parameter the JSON left zero. A
+// hand-written worker-trial may name just the spec ("chase-dram"); without
+// its catalog working set the chase kernel would run on an empty workspace
+// and panic.
 func graftKernel(spec *bench.Spec) error {
 	cat, err := bench.Lookup(spec.Name)
 	if err != nil {
 		return err
 	}
 	spec.Kernel = cat.Kernel
+	if spec.Component == "" {
+		spec.Component = cat.Component
+	}
+	if spec.WorkingSet == 0 {
+		spec.WorkingSet = cat.WorkingSet
+	}
+	if spec.Unroll == 0 {
+		spec.Unroll = cat.Unroll
+	}
+	if spec.Iters == 0 {
+		spec.Iters = cat.Iters
+	}
 	return nil
 }

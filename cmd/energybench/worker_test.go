@@ -9,6 +9,11 @@ import (
 	"strings"
 	"testing"
 
+	"encoding/json"
+	"math"
+
+	"energybench/internal/harness"
+	"energybench/internal/perf"
 	"energybench/internal/store"
 )
 
@@ -218,5 +223,146 @@ func TestCampaignDryRun(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), `campaign "ci-smoke"`) {
 		t.Errorf("stderr should announce the campaign; got: %s", stderr.String())
+	}
+}
+
+// TestWorkerTrialCountersRoundTrip: a trial carrying a counter spec must
+// come back through the worker envelope with the measured activity vector
+// attached — the counters half of the subprocess protocol.
+func TestWorkerTrialCountersRoundTrip(t *testing.T) {
+	trialJSON := `{"seq":0,"spec":{"name":"int-alu","component":"int-alu","iters":20000,"unroll":8},
+		"threads":2,"placement":"none","iters":20000,"warmup":0,"min_reps":2,"max_reps":2,
+		"counters":{"backend":"mock","events":["instructions","llc-misses"]}}`
+	var stdout, stderr bytes.Buffer
+	err := cmdWorkerTrial(context.Background(), []string{"--meter=mock", "--mock-watts=10"},
+		strings.NewReader(trialJSON), &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("worker-trial failed: %v\nstderr: %s", err, stderr.String())
+	}
+	var env harness.WorkerEnvelope
+	if err := json.Unmarshal(stdout.Bytes(), &env); err != nil {
+		t.Fatalf("bad envelope: %v\n%s", err, stdout.String())
+	}
+	if env.Result == nil {
+		t.Fatalf("envelope has no result: %s", stdout.String())
+	}
+	c := env.Result.Counters
+	if c == nil {
+		t.Fatal("counters did not survive the worker envelope")
+	}
+	if c.Backend != "mock" || len(c.Events) != 2 || len(c.Threads) != 2 || c.Reps != 2 {
+		t.Errorf("counters = %+v, want mock backend, 2 events, 2 threads, 2 reps", c)
+	}
+	planted := perf.MockRate("int-alu", "instructions")
+	if got := c.Events[0].RateHzMean; math.Abs(got-2*planted) > 2*planted*0.05 {
+		t.Errorf("instruction rate = %v, want ~%v (2 threads × planted rate)", got, 2*planted)
+	}
+}
+
+// TestSubprocessCounterPipeline is the acceptance-criteria test for the
+// counter subsystem: run --counters under the subprocess executor (real
+// re-exec'd worker children), then analyze --activity=counters over the
+// store — the whole measured-activity pipeline end to end on the mock
+// backends.
+func TestSubprocessCounterPipeline(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "counters.jsonl")
+	var stdout, stderr bytes.Buffer
+	args := []string{"run", "--meter=mock", "--executor=subprocess",
+		"--specs=int-alu,chase-dram", "--threads=1,2", "--reps=2", "--warmup=0",
+		"--iter-scale=0.02", "--counters=default", "--counter-backend=mock",
+		"--store=" + db}
+	if err := run(context.Background(), args, &stdout, &stderr); err != nil {
+		t.Fatalf("counter run failed: %v\nstderr: %s", err, stderr.String())
+	}
+
+	recs, err := store.Load(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("stored %d results, want 4", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.V != store.SchemaVersion {
+			t.Errorf("record schema v%d, want v%d", rec.V, store.SchemaVersion)
+		}
+		c := rec.Result.Counters
+		if c == nil {
+			t.Fatalf("stored result %s has no counters", rec.Key)
+		}
+		if len(c.Events) != len(perf.DefaultEvents()) {
+			t.Errorf("result %s counted %d events, want the %d defaults", rec.Key, len(c.Events), len(perf.DefaultEvents()))
+		}
+		if len(c.Threads) != rec.Result.Threads {
+			t.Errorf("result %s has %d thread entries, want %d", rec.Key, len(c.Threads), rec.Result.Threads)
+		}
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if err := run(context.Background(), []string{"analyze", "--db=" + db, "--activity=counters"}, &stdout, &stderr); err != nil {
+		t.Fatalf("analyze --activity=counters failed: %v\nstderr: %s", err, stderr.String())
+	}
+	var doc struct {
+		Activity     string `json:"activity"`
+		Observations int    `json:"observations"`
+		Fit          *struct {
+			CoeffW map[string]float64 `json:"coeff_w_per_thread"`
+		} `json:"fit"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Activity != "counters" || doc.Observations != 4 {
+		t.Errorf("activity/observations = %q/%d, want counters/4", doc.Activity, doc.Observations)
+	}
+	if doc.Fit == nil || len(doc.Fit.CoeffW) == 0 {
+		t.Errorf("fit has no coefficients: %s", stdout.String())
+	}
+}
+
+// TestRunCounterFlagValidation: counter flag misuse fails before any trial.
+func TestRunCounterFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"backend without counters", []string{"run", "--counter-backend=mock"}, "requires --counters"},
+		{"unknown event", []string{"run", "--counters=tlb-shootdowns"}, "unknown event"},
+		{"unknown backend", []string{"run", "--counters=default", "--counter-backend=msr"}, "unknown counter backend"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(context.Background(), tc.args, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("run %v succeeded, want error containing %q", tc.args, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestWorkerTrialMinimalSpecGraftsCatalogParams: a hand-fed trial naming
+// only the spec must pick up the catalog's working set (a chase kernel on an
+// empty workspace panics) and run.
+func TestWorkerTrialMinimalSpecGraftsCatalogParams(t *testing.T) {
+	trialJSON := `{"spec":{"name":"chase-dram"},"threads":1,"placement":"none","iters":2000,"min_reps":1,"max_reps":1}`
+	var stdout, stderr bytes.Buffer
+	err := cmdWorkerTrial(context.Background(), []string{"--meter=mock"},
+		strings.NewReader(trialJSON), &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("worker-trial failed: %v\nstderr: %s", err, stderr.String())
+	}
+	var env harness.WorkerEnvelope
+	if err := json.Unmarshal(stdout.Bytes(), &env); err != nil || env.Result == nil {
+		t.Fatalf("bad envelope (%v): %s", err, stdout.String())
+	}
+	if env.Result.Component != "dram" {
+		t.Errorf("component = %q, want dram grafted from the catalog", env.Result.Component)
 	}
 }

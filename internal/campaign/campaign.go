@@ -17,6 +17,7 @@ import (
 
 	"energybench/internal/bench"
 	"energybench/internal/harness"
+	"energybench/internal/perf"
 )
 
 // Executor names the trial execution backend a campaign requests.
@@ -50,6 +51,13 @@ type Campaign struct {
 	Store string `json:"store,omitempty"`
 	// Resume skips trials whose configuration key Store already holds.
 	Resume bool `json:"resume,omitempty"`
+	// Counters enables hardware activity metering on every trial and names
+	// the event set ("default" expands to the standard set). Empty with an
+	// empty CounterBackend means no counters.
+	Counters []string `json:"counters,omitempty"`
+	// CounterBackend picks the activity backend: "perf" (default when
+	// Counters is set) or "mock" for deterministic CI runs.
+	CounterBackend string `json:"counter_backend,omitempty"`
 	// Spaces are the exploration spaces to sweep, in order.
 	Spaces []SpaceConfig `json:"spaces"`
 }
@@ -212,6 +220,9 @@ func (c *Campaign) Validate() error {
 	if c.Resume && c.Store == "" {
 		return fmt.Errorf("campaign: resume requires a store")
 	}
+	if _, err := c.CounterSpec(); err != nil {
+		return err
+	}
 	if len(c.Spaces) == 0 {
 		return fmt.Errorf("campaign: no spaces declared")
 	}
@@ -225,6 +236,20 @@ func (c *Campaign) Validate() error {
 		}
 	}
 	return nil
+}
+
+// CounterSpec resolves the counters/counter_backend fields into the
+// normalized activity-metering spec applied to every space, or nil when the
+// campaign requests no counters.
+func (c *Campaign) CounterSpec() (*perf.Spec, error) {
+	if len(c.Counters) == 0 && c.CounterBackend == "" {
+		return nil, nil
+	}
+	spec, err := perf.Spec{Backend: c.CounterBackend, Events: c.Counters}.Normalize()
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	return &spec, nil
 }
 
 // Timeout parses the trial_timeout field; zero when unset.
@@ -348,14 +373,20 @@ func (sc *SpaceConfig) Space() (harness.Space, error) {
 
 // Plan expands every space in declaration order into one combined trial
 // list, re-sequencing Seq across space boundaries so the campaign reads as
-// a single plan to schedulers, dry runs, and progress logs.
+// a single plan to schedulers, dry runs, and progress logs. The campaign's
+// counter spec (when any) applies to every space.
 func (c *Campaign) Plan() ([]harness.Trial, error) {
+	counters, err := c.CounterSpec()
+	if err != nil {
+		return nil, err
+	}
 	var all []harness.Trial
 	for i := range c.Spaces {
 		space, err := c.Spaces[i].Space()
 		if err != nil {
 			return nil, fmt.Errorf("campaign: space %s: %w", c.Spaces[i].label(i), err)
 		}
+		space.Counters = counters
 		trials, err := harness.Plan(space)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: space %s: %w", c.Spaces[i].label(i), err)

@@ -3,11 +3,13 @@ package campaign
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"energybench/internal/harness"
+	"energybench/internal/perf"
 )
 
 const validYAML = `
@@ -193,5 +195,81 @@ spaces:
 	}
 	if _, err := harness.Plan(sp); err != nil {
 		t.Errorf("explicit-zero space should plan cleanly: %v", err)
+	}
+}
+
+// TestCampaignCounters: the counters/counter_backend fields resolve to one
+// normalized perf.Spec stamped onto every planned trial, "default" expands,
+// and a backend alone implies the default event set.
+func TestCampaignCounters(t *testing.T) {
+	src := `
+name: counted
+counter_backend: mock
+counters: [default, cache-refs]
+spaces:
+  - specs: [int-alu]
+    threads: [1]
+    reps: 1
+`
+	c, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := c.CounterSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec == nil || spec.Backend != perf.BackendMock {
+		t.Fatalf("counter spec = %+v, want mock backend", spec)
+	}
+	if want := append(perf.DefaultEvents(), "cache-refs"); !reflect.DeepEqual(spec.Events, want) {
+		t.Errorf("events = %v, want %v", spec.Events, want)
+	}
+	trials, err := c.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trials {
+		if tr.Counters == nil || !reflect.DeepEqual(tr.Counters.Events, spec.Events) {
+			t.Errorf("trial %d counters = %+v, want the campaign spec", tr.Seq, tr.Counters)
+		}
+	}
+
+	// Backend alone implies the default events.
+	backendOnly, err := Parse([]byte("name: x\ncounter_backend: mock\nspaces:\n  - specs: [int-alu]\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err = backendOnly.CounterSpec()
+	if err != nil || spec == nil || !reflect.DeepEqual(spec.Events, perf.DefaultEvents()) {
+		t.Errorf("backend-only counter spec = %+v (%v), want default events", spec, err)
+	}
+
+	// No counter fields means no counters on the trials.
+	plain, err := Parse([]byte("name: x\nspaces:\n  - specs: [int-alu]\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec, err := plain.CounterSpec(); err != nil || spec != nil {
+		t.Errorf("plain campaign counter spec = %+v (%v), want nil", spec, err)
+	}
+	trials, err = plain.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trials[0].Counters != nil {
+		t.Error("plain campaign stamped counters onto trials")
+	}
+}
+
+// TestCampaignCountersRejected: bad counter configuration fails the load.
+func TestCampaignCountersRejected(t *testing.T) {
+	for _, src := range []string{
+		"name: x\ncounters: [tlb-misses]\nspaces:\n  - specs: [int-alu]\n",
+		"name: x\ncounters: [default]\ncounter_backend: msr\nspaces:\n  - specs: [int-alu]\n",
+	} {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("Parse(%q): want error", src)
+		}
 	}
 }

@@ -1,0 +1,134 @@
+package harness
+
+import "energybench/internal/perf"
+
+// CounterEvent aggregates one hardware event over a trial's measured
+// repetitions. TotalMean is the mean over repetitions of the scaled count
+// summed across worker threads; RateHzMean is the mean over repetitions of
+// the summed per-thread rates (each thread's scaled count divided by its own
+// enabled time), the activity-factor form the power model consumes.
+type CounterEvent struct {
+	Event       string  `json:"event"`
+	TotalMean   float64 `json:"total_mean"`
+	RateHzMean  float64 `json:"rate_hz_mean"`
+	Multiplexed bool    `json:"multiplexed,omitempty"`
+}
+
+// CounterThread is one worker thread's per-event means, aligned with
+// Counters.Events. CPU is the pinned logical CPU (-1 when the trial ran
+// unpinned); Group attributes the thread to a co-run side (0 = spec A,
+// 1 = spec B).
+type CounterThread struct {
+	CPU        int       `json:"cpu"`
+	Group      int       `json:"group,omitempty"`
+	TotalMean  []float64 `json:"total_mean"`
+	RateHzMean []float64 `json:"rate_hz_mean"`
+}
+
+// Counters is the measured activity vector of one trial: scaled event
+// counts from every worker thread's counter group, aggregated over the
+// measured repetitions. It rides on Result (and through the worker-trial
+// envelope and the store) next to the energy summaries it explains.
+type Counters struct {
+	Backend string          `json:"backend"`
+	Events  []CounterEvent  `json:"events"`
+	Threads []CounterThread `json:"threads"`
+	// Reps is how many measured repetitions the means aggregate.
+	Reps int `json:"reps"`
+}
+
+// EventIndex returns the position of the named event in Events, or -1.
+func (c *Counters) EventIndex(name string) int {
+	for i, e := range c.Events {
+		if e.Event == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TotalRateHz returns the summed RateHzMean of the named event over the
+// threads of one co-run group (solo trials put every thread in group 0),
+// falling back to the event-level aggregate when per-thread data is absent.
+// The second return is false when the event is not counted.
+func (c *Counters) TotalRateHz(name string, group int) (float64, bool) {
+	i := c.EventIndex(name)
+	if i < 0 {
+		return 0, false
+	}
+	if len(c.Threads) == 0 {
+		if group != 0 {
+			return 0, false
+		}
+		return c.Events[i].RateHzMean, true
+	}
+	var sum float64
+	found := false
+	for _, th := range c.Threads {
+		if th.Group != group {
+			continue
+		}
+		found = true
+		if i < len(th.RateHzMean) {
+			sum += th.RateHzMean[i]
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	return sum, true
+}
+
+// buildCounters folds per-repetition, per-thread counts into the stored
+// aggregate. reps[r][t] is worker thread t's counts in measured repetition
+// r; every inner slice is parallel to units/cpus.
+func buildCounters(backend string, events []string, units []workUnit, cpus []int, reps [][]perf.Counts) *Counters {
+	if len(reps) == 0 || len(events) == 0 {
+		return nil
+	}
+	threads := len(units)
+	out := &Counters{Backend: backend, Reps: len(reps)}
+	perThread := make([]CounterThread, threads)
+	for t := range perThread {
+		cpu := -1
+		if cpus != nil {
+			cpu = cpus[t]
+		}
+		perThread[t] = CounterThread{
+			CPU:        cpu,
+			Group:      units[t].group,
+			TotalMean:  make([]float64, len(events)),
+			RateHzMean: make([]float64, len(events)),
+		}
+	}
+	out.Events = make([]CounterEvent, len(events))
+	for i, name := range events {
+		out.Events[i].Event = name
+	}
+	n := float64(len(reps))
+	for _, rep := range reps {
+		for t, counts := range rep {
+			for i, v := range counts.Values {
+				if i >= len(events) {
+					break
+				}
+				perThread[t].TotalMean[i] += v.Scaled / n
+				if v.TimeEnabledNS > 0 {
+					rate := v.Scaled / (float64(v.TimeEnabledNS) / 1e9)
+					perThread[t].RateHzMean[i] += rate / n
+				}
+				if v.Multiplexed() {
+					out.Events[i].Multiplexed = true
+				}
+			}
+		}
+	}
+	for _, th := range perThread {
+		for i := range out.Events {
+			out.Events[i].TotalMean += th.TotalMean[i]
+			out.Events[i].RateHzMean += th.RateHzMean[i]
+		}
+	}
+	out.Threads = perThread
+	return out
+}

@@ -11,6 +11,7 @@ import (
 
 	"energybench/internal/bench"
 	"energybench/internal/meter"
+	"energybench/internal/perf"
 	"energybench/internal/stats"
 )
 
@@ -31,6 +32,9 @@ type InProcess struct {
 	// pin overrides the thread-pinning syscall in tests; nil means the
 	// platform pinThread.
 	pin func(cpu int) error
+	// newActivity overrides ActivityMeter construction in tests; nil means
+	// perf.NewMeter over the trial's counter spec.
+	newActivity func(perf.Spec) (perf.ActivityMeter, error)
 }
 
 func (e *InProcess) pinFunc() func(int) error {
@@ -40,13 +44,22 @@ func (e *InProcess) pinFunc() func(int) error {
 	return pinThread
 }
 
+func (e *InProcess) activityMeter(spec perf.Spec) (perf.ActivityMeter, error) {
+	if e.newActivity != nil {
+		return e.newActivity(spec)
+	}
+	return perf.NewMeter(spec)
+}
+
 // workUnit is one worker thread's assignment: which kernel to run on which
-// workspace, and which spec group (A=0, B=1) its wall time belongs to.
+// workspace, which spec group (A=0, B=1) its wall time belongs to, and the
+// component name hinting the mock activity backend at its planted rates.
 type workUnit struct {
 	kernel bench.Kernel
 	ws     *bench.Workspace
 	iters  int
 	group  int
+	comp   string
 }
 
 func scaleIters(iters int, scale float64) int {
@@ -84,7 +97,7 @@ func (e *InProcess) Execute(ctx context.Context, t Trial) (Result, error) {
 	seed := func(i int) uint64 { return uint64(i)*0x9e3779b9 + 12345 }
 	if t.SpecB == nil {
 		for i := 0; i < t.Threads; i++ {
-			units = append(units, workUnit{t.Spec.Kernel, bench.NewWorkspace(t.Spec, seed(i)), t.Iters, 0})
+			units = append(units, workUnit{t.Spec.Kernel, bench.NewWorkspace(t.Spec, seed(i)), t.Iters, 0, string(t.Spec.Component)})
 		}
 	} else {
 		res.SpecB = t.SpecB.Name
@@ -93,8 +106,8 @@ func (e *InProcess) Execute(ctx context.Context, t Trial) (Result, error) {
 		res.ItersB = t.ItersB
 		for i := 0; i < t.Threads; i++ {
 			units = append(units,
-				workUnit{t.Spec.Kernel, bench.NewWorkspace(t.Spec, seed(2*i)), t.Iters, 0},
-				workUnit{t.SpecB.Kernel, bench.NewWorkspace(*t.SpecB, seed(2*i+1)), t.ItersB, 1})
+				workUnit{t.Spec.Kernel, bench.NewWorkspace(t.Spec, seed(2*i)), t.Iters, 0, string(t.Spec.Component)},
+				workUnit{t.SpecB.Kernel, bench.NewWorkspace(*t.SpecB, seed(2*i+1)), t.ItersB, 1, string(t.SpecB.Component)})
 		}
 	}
 	cpus := t.CPUs
@@ -104,12 +117,22 @@ func (e *InProcess) Execute(ctx context.Context, t Trial) (Result, error) {
 		return res, fmt.Errorf("harness: trial has %d explicit CPUs for %d worker threads", len(cpus), len(units))
 	}
 
+	var activity perf.ActivityMeter
+	if t.Counters != nil {
+		am, err := e.activityMeter(*t.Counters)
+		if err != nil {
+			return res, fmt.Errorf("harness: activity meter: %w", err)
+		}
+		activity = am
+	}
+
 	var conv stats.Accumulator
+	var repCounts [][]perf.Counts
 	for rep := 0; rep < t.Warmup+t.MaxReps; rep++ {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
-		sample, err := e.runOnce(units, cpus, t.SpecB != nil)
+		sample, counts, err := e.runOnce(units, cpus, t.SpecB != nil, activity)
 		if err != nil {
 			return res, err
 		}
@@ -117,6 +140,9 @@ func (e *InProcess) Execute(ctx context.Context, t Trial) (Result, error) {
 			continue
 		}
 		res.Samples = append(res.Samples, sample)
+		if counts != nil {
+			repCounts = append(repCounts, counts)
+		}
 		conv.Push(sample.EnergyJ)
 		// Converged means the CV target genuinely cut reps short: at the
 		// cap (which includes every fixed-rep run, where min == max) the
@@ -125,6 +151,9 @@ func (e *InProcess) Execute(ctx context.Context, t Trial) (Result, error) {
 			res.Converged = true
 			break
 		}
+	}
+	if activity != nil {
+		res.Counters = buildCounters(activity.Name(), activity.Events(), units, cpus, repCounts)
 	}
 
 	n := len(res.Samples)
@@ -159,27 +188,62 @@ func (e *InProcess) Execute(ctx context.Context, t Trial) (Result, error) {
 // barrier, the meter is read immediately around the parallel section, and
 // the sample is energy delta over wall time of the slowest thread. Each
 // thread's own wall time is recorded so co-runs can report per-spec times.
-func (e *InProcess) runOnce(units []workUnit, cpus []int, corun bool) (Sample, error) {
+// With an activity meter, every worker thread opens its own counter group
+// (on its pinned CPU, when pinned) and counts exactly the measured region;
+// the per-thread counts come back parallel to units.
+func (e *InProcess) runOnce(units []workUnit, cpus []int, corun bool, activity perf.ActivityMeter) (Sample, []perf.Counts, error) {
 	threads := len(units)
 	start := make(chan struct{})
 	abort := make(chan struct{})
 	var ready, done sync.WaitGroup
 	ready.Add(threads)
 	done.Add(threads)
-	var pinErr atomic.Value
+	// errBox gives every Store the same concrete type: atomic.Value panics
+	// on stores of differing types, and these slots receive errors of
+	// several concrete kinds (syscall errnos, wrapped fmt errors).
+	type errBox struct{ err error }
+	var pinErr, ctrErr atomic.Value
 	var sink uint64
 	var t0 time.Time
 	elapsedPer := make([]float64, threads)
+	var countsPer []perf.Counts
+	if activity != nil {
+		countsPer = make([]perf.Counts, threads)
+	}
 	pin := e.pinFunc()
 
 	for t := 0; t < threads; t++ {
 		go func(t int) {
 			defer done.Done()
-			if cpus != nil {
+			// The OS thread must stay fixed whenever it is pinned *or*
+			// counted: a per-thread perf session binds to the OS thread that
+			// opened it, so goroutine migration mid-kernel would silently
+			// divorce the counts from the work.
+			if cpus != nil || activity != nil {
 				runtime.LockOSThread()
 				defer runtime.UnlockOSThread()
+			}
+			if cpus != nil {
 				if err := pin(cpus[t]); err != nil {
-					pinErr.Store(err)
+					pinErr.Store(errBox{err})
+				}
+			}
+			// Counter groups open after pinning so a per-CPU session lands
+			// on the right CPU. An open failure is recorded, not fatal here:
+			// the thread still participates in the barrier (abandoning it
+			// would wedge the others) and the repetition is rejected after.
+			var sess perf.Session
+			if activity != nil {
+				cpu := -1
+				if cpus != nil {
+					cpu = cpus[t]
+				}
+				s, err := activity.OpenThread(cpu, units[t].comp)
+				if err != nil {
+					ctrErr.Store(errBox{err})
+				} else {
+					sess = s
+					defer sess.Close()
 				}
 			}
 			ready.Done()
@@ -189,10 +253,24 @@ func (e *InProcess) runOnce(units []workUnit, cpus []int, corun bool) (Sample, e
 				return
 			}
 			u := units[t]
+			if sess != nil {
+				if err := sess.Start(); err != nil {
+					ctrErr.Store(errBox{err})
+					sess = nil
+				}
+			}
 			v := u.kernel(u.ws, u.iters)
 			// t0 is written before close(start), so reading it here is
 			// ordered by the channel close.
 			elapsedPer[t] = time.Since(t0).Seconds()
+			if sess != nil {
+				counts, err := sess.Stop()
+				if err != nil {
+					ctrErr.Store(errBox{err})
+				} else {
+					countsPer[t] = counts
+				}
+			}
 			atomic.AddUint64(&sink, v)
 		}(t)
 	}
@@ -203,7 +281,7 @@ func (e *InProcess) runOnce(units []workUnit, cpus []int, corun bool) (Sample, e
 		// surfacing the error.
 		close(abort)
 		done.Wait()
-		return Sample{}, err
+		return Sample{}, nil, err
 	}
 	t0 = time.Now()
 	close(start)
@@ -212,20 +290,25 @@ func (e *InProcess) runOnce(units []workUnit, cpus []int, corun bool) (Sample, e
 	after, readErr := e.Meter.Read()
 	atomic.AddUint64(&bench.Sink, sink)
 	// A pin failure invalidates the placement and must not be masked by a
-	// meter error on the closing read (or vice versa): join both.
+	// meter error on the closing read (or vice versa) — and a counter
+	// failure invalidates the activity vector the model will regress
+	// against: join them all.
 	var errs []error
 	if p := pinErr.Load(); p != nil {
-		errs = append(errs, p.(error))
+		errs = append(errs, p.(errBox).err)
+	}
+	if c := ctrErr.Load(); c != nil {
+		errs = append(errs, c.(errBox).err)
 	}
 	if readErr != nil {
 		errs = append(errs, readErr)
 	}
 	if len(errs) > 0 {
-		return Sample{}, errors.Join(errs...)
+		return Sample{}, nil, errors.Join(errs...)
 	}
 	domainJ, err := meter.DeltaPerDomain(e.Meter, before, after)
 	if err != nil {
-		return Sample{}, err
+		return Sample{}, nil, err
 	}
 	var energy float64
 	for _, j := range domainJ {
@@ -244,5 +327,5 @@ func (e *InProcess) runOnce(units []workUnit, cpus []int, corun bool) (Sample, e
 			}
 		}
 	}
-	return s, nil
+	return s, countsPer, nil
 }

@@ -14,6 +14,7 @@ import (
 
 	"energybench/internal/bench"
 	"energybench/internal/meter"
+	"energybench/internal/perf"
 	"energybench/internal/stats"
 )
 
@@ -48,6 +49,11 @@ type Space struct {
 	// MaxCV is the coefficient-of-variation threshold for outlier
 	// rejection over the energy samples; 0 disables rejection.
 	MaxCV float64
+	// Counters, when non-nil, attaches per-thread hardware activity
+	// metering to every trial: each worker thread counts the spec'd events
+	// around the measured region and the scaled counts ride on the result
+	// (internal/perf).
+	Counters *perf.Spec
 }
 
 // repBounds resolves the Reps/MinReps/MaxReps shorthand into the effective
@@ -106,6 +112,11 @@ func (s Space) Validate() error {
 	if s.Warmup < 0 {
 		return fmt.Errorf("harness: warmup must be non-negative, got %d", s.Warmup)
 	}
+	if s.Counters != nil {
+		if _, err := s.Counters.Normalize(); err != nil {
+			return fmt.Errorf("harness: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -152,6 +163,10 @@ type Result struct {
 	TimeB *stats.Summary `json:"time_b_s_summary,omitempty"`
 	EDP   float64        `json:"edp_js"`
 	EDDP  float64        `json:"eddp_js2"`
+	// Counters is the measured activity vector (scaled hardware event
+	// counts, aggregated over measured repetitions); set when the trial
+	// carried a counter spec. Store schema v2.
+	Counters *Counters `json:"counters,omitempty"`
 }
 
 // IsCoRun reports whether the result measured two specs sharing the machine.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"energybench/internal/bench"
+	"energybench/internal/perf"
 )
 
 // Trial is one planned configuration: a first-class, serializable unit of
@@ -44,6 +45,11 @@ type Trial struct {
 	// fills it in when allocating a trial onto the currently free cores,
 	// and it travels to subprocess workers with the rest of the trial.
 	CPUs []int `json:"cpus,omitempty"`
+	// Counters, when non-nil, makes the executor meter hardware activity
+	// around every repetition's measured region. The planner stamps the
+	// normalized spec (explicit backend + event list), so a serialized
+	// trial reproduces the same counter configuration in a worker child.
+	Counters *perf.Spec `json:"counters,omitempty"`
 }
 
 // Name labels the trial for logs and errors: "specA" or "specA+specB".
@@ -90,6 +96,14 @@ func Plan(space Space) ([]Trial, error) {
 		return nil, err
 	}
 	minReps, maxReps := space.repBounds()
+	var counters *perf.Spec
+	if space.Counters != nil {
+		norm, err := space.Counters.Normalize()
+		if err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		counters = &norm
+	}
 	var trials []Trial
 	add := func(specA bench.Spec, specB *bench.Spec, threads int, placement Placement) {
 		t := Trial{
@@ -104,6 +118,7 @@ func Plan(space Space) ([]Trial, error) {
 			MaxReps:   maxReps,
 			CVTarget:  space.CVTarget,
 			MaxCV:     space.MaxCV,
+			Counters:  counters,
 		}
 		if specB != nil {
 			t.ItersB = scaleIters(specB.Iters, space.IterScale)

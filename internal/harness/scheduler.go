@@ -31,7 +31,10 @@ import (
 // behave exactly as in the serial pipeline. A trial that fails — most
 // commonly a crashed or timed-out worker child — is recorded as a
 // *TrialError and the sweep continues; the joined failures come back as the
-// final error, so one killed worker loses one trial, not the campaign.
+// final error, so one killed worker loses one trial, not the campaign. A
+// pinned trial wider than the whole lease table is rejected the same way
+// before dispatch: it could never be allocated, so waiting for it would
+// stall the sweep forever.
 type Scheduler struct {
 	// Executor runs each trial; required. Use Subprocess for trials that
 	// must not share the coordinator's address space.
@@ -99,9 +102,6 @@ func (s *Scheduler) RunPlan(ctx context.Context, trials []Trial, sink ResultSink
 		totalCPUs += len(g)
 	}
 
-	pending := make([]Trial, len(trials))
-	copy(pending, trials)
-
 	var (
 		mu        sync.Mutex
 		cond      = sync.NewCond(&mu)
@@ -112,6 +112,26 @@ func (s *Scheduler) RunPlan(ctx context.Context, trials []Trial, sink ResultSink
 		sinkErr   error
 	)
 	total := len(trials)
+
+	// A pinned trial wider than the whole lease table can never be
+	// allocated: no amount of waiting frees CPUs that don't exist. Reject
+	// such trials up front as per-trial failures so the sweep proceeds
+	// instead of degrading their placement (or stalling behind them).
+	var pending []Trial
+	for _, t := range trials {
+		if t.Placement != PlaceNone && totalCPUs > 0 && trialUnits(t) > totalCPUs {
+			finished++
+			trialErrs = append(trialErrs, &TrialError{Trial: t, Err: fmt.Errorf(
+				"harness: placement %s needs %d CPUs but only %d are leasable: the trial can never be scheduled",
+				t.Placement, trialUnits(t), totalCPUs)})
+			if s.Log != nil {
+				s.Log("[%d/%d] %-20s threads=%d placement=%-7s REJECTED: needs %d CPUs, machine leases %d",
+					finished, total, t.Name(), t.Threads, t.Placement, trialUnits(t), totalCPUs)
+			}
+			continue
+		}
+		pending = append(pending, t)
+	}
 
 	// A context cancellation must wake the dispatch loop out of cond.Wait
 	// so it stops launching and drains the in-flight trials (whose
@@ -126,11 +146,10 @@ func (s *Scheduler) RunPlan(ctx context.Context, trials []Trial, sink ResultSink
 	// allocate places a pinned trial onto the cores that are entirely free
 	// right now: the placement walk runs over just those cores, so the
 	// trial keeps its compact/scatter semantics without colliding with any
-	// in-flight trial's CPUs. It must see at least as many distinct CPUs
-	// as it would get on an idle machine (min(units, totalCPUs)); with
-	// fewer it waits rather than degrade the placement. Returns the
-	// per-unit assignment and whether allocation succeeded. Callers hold
-	// mu.
+	// in-flight trial's CPUs. It must see every CPU it needs (trials wider
+	// than the machine were rejected above); with fewer free it waits
+	// rather than degrade the placement. Returns the per-unit assignment
+	// and whether allocation succeeded. Callers hold mu.
 	allocate := func(t Trial) ([]int, bool) {
 		if t.Placement == PlaceNone || totalCPUs == 0 {
 			// Unpinned, or no usable topology: nothing to lease — the
@@ -153,11 +172,7 @@ func (s *Scheduler) RunPlan(ctx context.Context, trials []Trial, sink ResultSink
 				freeCPUs += len(g)
 			}
 		}
-		required := units
-		if required > totalCPUs {
-			required = totalCPUs
-		}
-		if freeCPUs < required {
+		if freeCPUs < units {
 			return nil, false
 		}
 		return assignFromGroups(t.Placement, units, freeGroups), true

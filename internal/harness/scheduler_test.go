@@ -200,25 +200,55 @@ func TestSchedulerCoRunLeasesAtomically(t *testing.T) {
 	}
 }
 
-// TestSchedulerOversubscribedTrialRunsAlone: a trial wanting more threads
-// than the machine has CPUs must wait for the whole machine, run, and not
-// deadlock.
-func TestSchedulerOversubscribedTrialRunsAlone(t *testing.T) {
+// TestSchedulerOversubscribedTrialFailsFast: a pinned trial wanting more
+// threads than the machine has CPUs can never be allocated from the lease
+// table; it must be rejected as a *TrialError before dispatch while the
+// rest of the sweep proceeds (a co-run pair counts both specs' threads).
+func TestSchedulerOversubscribedTrialFailsFast(t *testing.T) {
 	trials := []Trial{
-		schedTrial(0, "wide", 16, PlaceCompact), // 16 units on 8 CPUs
-		schedTrial(1, "narrow", 1, PlaceScatter),
+		schedTrial(0, "wide", 16, PlaceCompact),           // 16 units on 8 CPUs
+		schedCoRunTrial(1, "a", "b", 5, PlaceScatter),     // 10 interleaved units on 8 CPUs
+		schedTrial(2, "narrow", 1, PlaceScatter),          // fits
+		schedTrial(3, "unpinned-wide", 16, PlaceNone),     // unpinned: leases nothing, runs
+		schedTrial(4, "exactly-machine", 8, PlaceCompact), // fits exactly
 	}
 	exec := newRecordingExecutor(time.Millisecond)
 	s := &Scheduler{Executor: exec, Parallel: 4, groups: fakeGroups()}
 	var c Collector
-	if err := s.RunPlan(context.Background(), trials, &c); err != nil {
-		t.Fatal(err)
+	err := s.RunPlan(context.Background(), trials, &c)
+	if err == nil {
+		t.Fatal("want *TrialError for the oversubscribed trials")
 	}
-	if len(c.Results) != 2 {
-		t.Fatalf("sink saw %d results, want 2", len(c.Results))
+	var te *TrialError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %v does not unwrap to a *TrialError", err)
+	}
+	if !strings.Contains(err.Error(), "wide") || !strings.Contains(err.Error(), "never be scheduled") {
+		t.Errorf("error %q should name the unschedulable trial and say why", err)
+	}
+	// Both pinned oversized trials are rejected, nothing else.
+	rejected := map[string]bool{}
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		for _, e := range joined.Unwrap() {
+			var t2 *TrialError
+			if errors.As(e, &t2) {
+				rejected[t2.Trial.Spec.Name] = true
+			}
+		}
+	} else {
+		var t2 *TrialError
+		if errors.As(err, &t2) {
+			rejected[t2.Trial.Spec.Name] = true
+		}
+	}
+	if len(rejected) != 2 || !rejected["wide"] || !rejected["a"] {
+		t.Errorf("rejected trials = %v, want exactly wide and the a+b co-run", rejected)
+	}
+	if len(c.Results) != 3 {
+		t.Fatalf("sink saw %d results, want 3 — the runnable trials must still sweep", len(c.Results))
 	}
 	if exec.overlapped {
-		t.Error("the oversubscribed trial shared CPUs with another trial")
+		t.Error("concurrent trials shared CPUs")
 	}
 }
 

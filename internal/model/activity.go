@@ -1,0 +1,109 @@
+package model
+
+import (
+	"fmt"
+
+	"energybench/internal/bench"
+	"energybench/internal/harness"
+)
+
+// Activity-source names shared by the CLI and campaign layers: how fit
+// observations derive their per-component activity factors.
+const (
+	// ActivityNominal labels each observation with its workload: activity =
+	// thread count on the kernel's component. Always available; blind to
+	// what the hardware actually did.
+	ActivityNominal = "nominal"
+	// ActivityCounters derives activity from measured hardware event rates
+	// (internal/perf), the paper's counter-based methodology.
+	ActivityCounters = "counters"
+)
+
+// RateScale converts a measured event rate (events/second) into an activity
+// factor: activity = rate / RateScale, i.e. billions of events per second.
+// A GHz-class core saturating a component therefore scores activity of a
+// few units per thread — the same numeric range as nominal thread counts,
+// so fitted coefficients stay comparable across the two activity sources.
+const RateScale = 1e9
+
+// characteristicEvents maps each component to the hardware events whose
+// rate drives that component's dynamic power, in preference order. The
+// observation builder uses the first event the result actually counted:
+//
+//   - Compute components (and L1 hits) are driven by retired instructions.
+//   - L2 activity is L1D misses — every L1 miss is an L2 access.
+//   - L3 activity is also L1D-miss traffic (an L2-resident set misses only
+//     L1), with LLC references as the fallback proxy.
+//   - DRAM activity is LLC misses, each one a memory transaction.
+var characteristicEvents = map[bench.Component][]string{
+	bench.CompIntALU: {"instructions"},
+	bench.CompFPU:    {"instructions"},
+	bench.CompMixed:  {"instructions"},
+	bench.CompL1:     {"l1d-loads", "instructions"},
+	bench.CompL2:     {"l1d-misses", "cache-refs"},
+	bench.CompL3:     {"l1d-misses", "cache-refs"},
+	bench.CompDRAM:   {"llc-misses"},
+}
+
+// componentActivity derives one co-run group's activity factor from its
+// measured rates.
+func componentActivity(c *harness.Counters, comp bench.Component, group int) (float64, error) {
+	prefs, ok := characteristicEvents[comp]
+	if !ok {
+		// Unknown component (e.g. a future kernel): fall back to retired
+		// instructions, the universal work proxy.
+		prefs = []string{"instructions"}
+	}
+	for _, ev := range prefs {
+		if rate, ok := c.TotalRateHz(ev, group); ok {
+			return rate / RateScale, nil
+		}
+	}
+	return 0, fmt.Errorf("model: component %s needs one of %v but the result only counted %v (re-run with those events in --counters)",
+		comp, prefs, countedEvents(c))
+}
+
+func countedEvents(c *harness.Counters) []string {
+	names := make([]string, len(c.Events))
+	for i, e := range c.Events {
+		names[i] = e.Event
+	}
+	return names
+}
+
+// FromResultsCounters converts harness results into fit observations whose
+// activity factors are *measured*: each result's per-component activity is
+// its characteristic hardware event rate (normalized by RateScale) summed
+// over the threads stressing that component, instead of the nominal thread
+// count FromResults assumes. Results without counters are skipped and
+// counted; fitting proceeds on the measured subset. An error is returned
+// only when no result carries counters or a counted result lacks the events
+// its component needs.
+func FromResultsCounters(results []harness.Result) (obs []Observation, skipped int, err error) {
+	for _, r := range results {
+		if r.Counters == nil {
+			skipped++
+			continue
+		}
+		act := map[bench.Component]float64{}
+		a, err := componentActivity(r.Counters, r.Component, 0)
+		if err != nil {
+			return nil, skipped, fmt.Errorf("%s/t%d/%s: %w", r.Spec, r.Threads, r.Placement, err)
+		}
+		act[r.Component] += a
+		label := fmt.Sprintf("%s/t%d/%s", r.Spec, r.Threads, r.Placement)
+		if r.IsCoRun() {
+			b, err := componentActivity(r.Counters, r.ComponentB, 1)
+			if err != nil {
+				return nil, skipped, fmt.Errorf("%s+%s/t%d+%d/%s: %w", r.Spec, r.SpecB, r.Threads, r.ThreadsB, r.Placement, err)
+			}
+			act[r.ComponentB] += b
+			label = fmt.Sprintf("%s+%s/t%d+%d/%s", r.Spec, r.SpecB, r.Threads, r.ThreadsB, r.Placement)
+		}
+		obs = append(obs, Observation{Label: label, PowerW: r.PowerW.Mean, Activity: act})
+	}
+	if len(obs) == 0 {
+		return nil, skipped, fmt.Errorf("model: no stored results carry measured counters (re-run the sweep with --counters)")
+	}
+	return obs, skipped, nil
+}

@@ -1,0 +1,147 @@
+package perf
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// mockRates plants per-component event rates in events/second. The rows are
+// keyed by the workload hint OpenThread receives (the benchmark kernel's
+// component name), so every kernel in the catalog produces a distinct,
+// physically plausible activity signature: compute kernels retire many
+// instructions and miss no caches, the DRAM chase retires few instructions
+// and turns almost every one into an LLC miss. Rates are per thread;
+// downstream rate-based activity therefore scales linearly with thread
+// count, exactly like the nominal model's thread-count activity.
+var mockRates = map[string]map[string]float64{
+	"int-alu": {"instructions": 3.2e9, "l1d-loads": 1e7, "l1d-misses": 1e4, "cache-refs": 5e3, "llc-misses": 1e3, "stalled-backend": 1e7},
+	"fpu":     {"instructions": 2.8e9, "l1d-loads": 1e7, "l1d-misses": 1e4, "cache-refs": 5e3, "llc-misses": 1e3, "stalled-backend": 5e7},
+	"l1":      {"instructions": 2.4e9, "l1d-loads": 2.4e9, "l1d-misses": 1e5, "cache-refs": 1e4, "llc-misses": 2e3, "stalled-backend": 1e8},
+	"l2":      {"instructions": 9e8, "l1d-loads": 9e8, "l1d-misses": 8.5e8, "cache-refs": 1e5, "llc-misses": 1e4, "stalled-backend": 1.4e9},
+	"l3":      {"instructions": 3.5e8, "l1d-loads": 3.5e8, "l1d-misses": 3.3e8, "cache-refs": 3.3e8, "llc-misses": 1e6, "stalled-backend": 1.7e9},
+	"dram":    {"instructions": 6e7, "l1d-loads": 6e7, "l1d-misses": 5.8e7, "cache-refs": 5.8e7, "llc-misses": 5.5e7, "stalled-backend": 1.9e9},
+	"mixed":   {"instructions": 1.8e9, "l1d-loads": 9e8, "l1d-misses": 4e8, "cache-refs": 1e5, "llc-misses": 1e4, "stalled-backend": 6e8},
+}
+
+// mockDefaultRates backs events (or workloads) the table above does not
+// name, so every catalog event always counts something.
+var mockDefaultRates = map[string]float64{
+	"instructions":     1.0e9,
+	"cycles":           2.5e9,
+	"cache-refs":       2e6,
+	"llc-misses":       1e5,
+	"branches":         1e8,
+	"branch-misses":    1e6,
+	"stalled-frontend": 1e8,
+	"stalled-backend":  2e8,
+	"l1d-loads":        5e8,
+	"l1d-misses":       1e6,
+	"llc-loads":        2e6,
+	"llc-load-misses":  1e5,
+}
+
+// MockRate returns the planted events/second rate the mock backend counts
+// for one event under one workload. Planted-rate tests use it as the ground
+// truth the pipeline must recover.
+func MockRate(workload, event string) float64 {
+	if r, ok := mockRates[workload][event]; ok {
+		return r
+	}
+	// Every workload runs at the same mock clock frequency.
+	return mockDefaultRates[event]
+}
+
+// Mock is a deterministic ActivityMeter: a session's counts are exactly
+// MockRate(workload, event) × elapsed wall time, so measured event *rates*
+// reproduce the planted table no matter how long a repetition runs.
+type Mock struct {
+	// RunningFraction simulates counter multiplexing: sessions report
+	// time_running = fraction × time_enabled with raw counts shrunk to
+	// match, so only multiplex *scaling* recovers the planted rate. Values
+	// outside (0, 1] mean no multiplexing.
+	RunningFraction float64
+
+	events []string
+	now    func() time.Time
+}
+
+// NewMock returns a mock meter counting the given (already normalized)
+// event names.
+func NewMock(events []string) *Mock {
+	return &Mock{events: events, now: time.Now}
+}
+
+// NewMockWithClock returns a mock meter driven by an explicit clock for
+// fully deterministic tests.
+func NewMockWithClock(events []string, clock func() time.Time) *Mock {
+	return &Mock{events: events, now: clock}
+}
+
+func (m *Mock) Name() string     { return BackendMock }
+func (m *Mock) Events() []string { return m.events }
+
+// OpenThread opens a deterministic session for the workload. cpu is
+// recorded only for symmetry with the perf backend.
+func (m *Mock) OpenThread(_ int, workload string) (Session, error) {
+	return &mockSession{m: m, workload: workload}, nil
+}
+
+type mockSession struct {
+	m        *Mock
+	workload string
+
+	mu      sync.Mutex
+	start   time.Time
+	running bool
+	closed  bool
+}
+
+func (s *mockSession) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("perf: mock session is closed")
+	}
+	s.start = s.m.now()
+	s.running = true
+	return nil
+}
+
+func (s *mockSession) Stop() (Counts, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Counts{}, fmt.Errorf("perf: mock session is closed")
+	}
+	if !s.running {
+		return Counts{}, fmt.Errorf("perf: mock session stopped without a start")
+	}
+	s.running = false
+	elapsed := s.m.now().Sub(s.start)
+	enabledNS := uint64(elapsed.Nanoseconds())
+	frac := s.m.RunningFraction
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	runningNS := uint64(float64(enabledNS) * frac)
+	c := Counts{Values: make([]EventCount, len(s.m.events))}
+	for i, ev := range s.m.events {
+		full := MockRate(s.workload, ev) * elapsed.Seconds()
+		raw := uint64(full * frac)
+		c.Values[i] = EventCount{
+			Raw:           raw,
+			Scaled:        scaleCount(raw, enabledNS, runningNS),
+			TimeEnabledNS: enabledNS,
+			TimeRunningNS: runningNS,
+		}
+	}
+	return c, nil
+}
+
+func (s *mockSession) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}

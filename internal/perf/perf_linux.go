@@ -1,0 +1,251 @@
+//go:build linux
+
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// perfEventOpenNR maps GOARCH to the perf_event_open syscall number; the
+// number is architecture-specific and the Go standard library does not
+// export it.
+var perfEventOpenNR = map[string]uintptr{
+	"amd64":   298,
+	"386":     336,
+	"arm":     364,
+	"arm64":   241,
+	"riscv64": 241,
+	"loong64": 241,
+	"ppc64":   319,
+	"ppc64le": 319,
+	"s390x":   331,
+}
+
+// perf_event_attr flag bits and ioctl/flag constants
+// (uapi/linux/perf_event.h).
+const (
+	attrBitDisabled      = 1 << 0
+	attrBitExcludeKernel = 1 << 5
+	attrBitExcludeHV     = 1 << 6
+
+	formatTotalTimeEnabled = 1 << 0
+	formatTotalTimeRunning = 1 << 1
+	formatGroup            = 1 << 3
+
+	perfFlagFDCloexec = 1 << 3
+
+	perfIOCEnable    = 0x2400
+	perfIOCDisable   = 0x2401
+	perfIOCReset     = 0x2403
+	perfIOCFlagGroup = 1
+
+	// PERF_ATTR_SIZE_VER5: the attr layout below, through aux_watermark /
+	// sample_max_stack. Older kernels accept smaller sizes; newer ones
+	// zero-fill.
+	attrSize = 112
+)
+
+// perfEventAttr mirrors struct perf_event_attr through VER5.
+type perfEventAttr struct {
+	Type               uint32
+	Size               uint32
+	Config             uint64
+	SamplePeriodOrFreq uint64
+	SampleType         uint64
+	ReadFormat         uint64
+	Bits               uint64
+	WakeupEvents       uint32
+	BPType             uint32
+	Config1            uint64
+	Config2            uint64
+	BranchSampleType   uint64
+	SampleRegsUser     uint64
+	SampleStackUser    uint32
+	ClockID            int32
+	SampleRegsIntr     uint64
+	AuxWatermark       uint32
+	SampleMaxStack     uint16
+	_                  uint16
+}
+
+// linuxMeter opens grouped perf_event FDs on the calling thread. The meter
+// itself is pure configuration; every FD lives in a session.
+type linuxMeter struct {
+	events []string
+	defs   []eventDef
+}
+
+func newPlatformMeter(events []string) (ActivityMeter, error) {
+	if _, ok := perfEventOpenNR[runtime.GOARCH]; !ok {
+		return nil, fmt.Errorf("perf: perf_event_open syscall number unknown for %s/%s", runtime.GOOS, runtime.GOARCH)
+	}
+	m := &linuxMeter{events: events}
+	for _, e := range events {
+		def, ok := eventDefs[e]
+		if !ok {
+			return nil, fmt.Errorf("perf: unknown event %q (known: %v)", e, EventNames())
+		}
+		m.defs = append(m.defs, def)
+	}
+	if len(m.defs) == 0 {
+		return nil, fmt.Errorf("perf: no events to count")
+	}
+	return m, nil
+}
+
+func (m *linuxMeter) Name() string     { return BackendPerf }
+func (m *linuxMeter) Events() []string { return m.events }
+
+// OpenThread opens one counter group for the calling thread: the first event
+// is the group leader, the rest attach to it, so the whole set schedules
+// onto the PMU (and multiplexes off it) as a unit and a single read returns
+// consistent counts plus the shared time_enabled/time_running pair.
+func (m *linuxMeter) OpenThread(cpu int, _ string) (Session, error) {
+	s := &linuxSession{n: len(m.defs)}
+	for i, def := range m.defs {
+		attr := perfEventAttr{
+			Type:       def.typ,
+			Size:       attrSize,
+			Config:     def.config,
+			ReadFormat: formatGroup | formatTotalTimeEnabled | formatTotalTimeRunning,
+			// Counters start disabled and are enabled per repetition via
+			// ioctl, so setup work between Open and Start is never counted.
+			// Kernel and hypervisor exclusion keeps the measurement to the
+			// benchmark's own user-space work and lets the open succeed at
+			// perf_event_paranoid = 2, the common unprivileged default.
+			Bits: attrBitDisabled | attrBitExcludeKernel | attrBitExcludeHV,
+		}
+		group := -1
+		if i > 0 {
+			group = s.fds[0]
+		}
+		fd, err := perfEventOpen(&attr, 0, cpu, group, perfFlagFDCloexec)
+		if err != nil {
+			s.Close()
+			return nil, openError(m.events[i], err)
+		}
+		s.fds = append(s.fds, fd)
+	}
+	return s, nil
+}
+
+// openError wraps a perf_event_open failure with the likely remedy.
+func openError(event string, err error) error {
+	switch {
+	case err == syscall.EACCES || err == syscall.EPERM:
+		return fmt.Errorf("perf: opening %q: %w (self-profiling needs kernel.perf_event_paranoid <= 2 or CAP_PERFMON; check /proc/sys/kernel/perf_event_paranoid)", event, err)
+	case err == syscall.ENOENT || err == syscall.ENODEV || err == syscall.EOPNOTSUPP:
+		return fmt.Errorf("perf: opening %q: %w (event not supported by this CPU/PMU — try a smaller --counters set)", event, err)
+	}
+	return fmt.Errorf("perf: opening %q: %w", event, err)
+}
+
+func perfEventOpen(attr *perfEventAttr, pid, cpu, groupFD int, flags uintptr) (int, error) {
+	nr := perfEventOpenNR[runtime.GOARCH]
+	fd, _, errno := syscall.Syscall6(nr,
+		uintptr(unsafe.Pointer(attr)),
+		uintptr(pid), uintptr(cpu), uintptr(groupFD), flags, 0)
+	if errno != 0 {
+		return -1, errno
+	}
+	return int(fd), nil
+}
+
+// linuxSession is one thread's counter group: fds[0] is the leader.
+// baseEnabled/baseRunning snapshot the group's cumulative time pair at the
+// last Start: PERF_EVENT_IOC_RESET zeroes only the counts, so per-repetition
+// times must be taken as deltas against this baseline or a reused session
+// would scale one repetition's counts over every previous repetition's
+// enabled window.
+type linuxSession struct {
+	fds         []int
+	n           int
+	baseEnabled uint64
+	baseRunning uint64
+}
+
+func (s *linuxSession) ioctlGroup(req uintptr) error {
+	_, _, errno := syscall.Syscall(syscall.SYS_IOCTL, uintptr(s.fds[0]), req, perfIOCFlagGroup)
+	if errno != 0 {
+		return fmt.Errorf("perf: ioctl %#x: %w", req, errno)
+	}
+	return nil
+}
+
+// readGroup reads every member of the group in one syscall. The read format
+// is PERF_FORMAT_GROUP: {nr, time_enabled, time_running, value...}, all u64
+// in host byte order.
+func (s *linuxSession) readGroup() (enabled, running uint64, raws []uint64, err error) {
+	words := make([]uint64, 3+s.n)
+	buf := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(words)*8)
+	n, err := syscall.Read(s.fds[0], buf)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("perf: reading counter group: %w", err)
+	}
+	if n != len(buf) {
+		return 0, 0, nil, fmt.Errorf("perf: short counter read: %d bytes, want %d", n, len(buf))
+	}
+	if got := int(words[0]); got != s.n {
+		return 0, 0, nil, fmt.Errorf("perf: counter group read reports %d members, want %d", got, s.n)
+	}
+	return words[1], words[2], words[3:], nil
+}
+
+// Start zeroes the group's counts, snapshots its cumulative
+// time_enabled/time_running as the repetition baseline (still disabled, so
+// the snapshot is exact), and enables it.
+func (s *linuxSession) Start() error {
+	if len(s.fds) == 0 {
+		return fmt.Errorf("perf: session is closed")
+	}
+	if err := s.ioctlGroup(perfIOCReset); err != nil {
+		return err
+	}
+	enabled, running, _, err := s.readGroup()
+	if err != nil {
+		return err
+	}
+	s.baseEnabled, s.baseRunning = enabled, running
+	return s.ioctlGroup(perfIOCEnable)
+}
+
+// Stop disables the group and reads it, reporting counts with times taken
+// relative to the Start baseline.
+func (s *linuxSession) Stop() (Counts, error) {
+	if len(s.fds) == 0 {
+		return Counts{}, fmt.Errorf("perf: session is closed")
+	}
+	if err := s.ioctlGroup(perfIOCDisable); err != nil {
+		return Counts{}, err
+	}
+	enabled, running, raws, err := s.readGroup()
+	if err != nil {
+		return Counts{}, err
+	}
+	enabled -= s.baseEnabled
+	running -= s.baseRunning
+	c := Counts{Values: make([]EventCount, s.n)}
+	for i, raw := range raws {
+		c.Values[i] = EventCount{
+			Raw:           raw,
+			Scaled:        scaleCount(raw, enabled, running),
+			TimeEnabledNS: enabled,
+			TimeRunningNS: running,
+		}
+	}
+	return c, nil
+}
+
+func (s *linuxSession) Close() error {
+	var first error
+	for _, fd := range s.fds {
+		if err := syscall.Close(fd); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.fds = nil
+	return first
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package perf
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// newPlatformMeter on non-Linux hosts always fails: perf_event_open is a
+// Linux syscall. The mock backend remains available everywhere.
+func newPlatformMeter([]string) (ActivityMeter, error) {
+	return nil, fmt.Errorf("perf: the %q backend requires Linux perf_event_open (running on %s); use the mock backend", BackendPerf, runtime.GOOS)
+}

@@ -23,7 +23,14 @@ import (
 
 // SchemaVersion is the record schema this package writes. Readers accept
 // records with a version at or below their own and reject newer ones.
-const SchemaVersion = 1
+//
+// History:
+//
+//	v1 — initial record shape (key, saved_at, result).
+//	v2 — result may carry a measured activity vector (result.counters:
+//	     scaled hardware event counts per thread). v1 records load
+//	     unchanged; their results simply have no counters.
+const SchemaVersion = 2
 
 // maxLine bounds one JSONL record; results with many samples stay far under.
 const maxLine = 16 << 20

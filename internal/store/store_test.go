@@ -302,3 +302,45 @@ func TestResultsAppliesFilter(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadV1RecordsUnderV2 is the schema-compat test: a store written by the
+// v1 build (records without counters) must load under the v2 reader exactly
+// as before, mixed freely with v2 records carrying measured activity
+// vectors — an accumulated dataset survives the schema bump.
+func TestLoadV1RecordsUnderV2(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.jsonl")
+	v1 := `{"v":1,"key":"int-alu||t1+0|none|mock|i1000+0","saved_at":"2026-07-01T00:00:00Z","result":{"spec":"int-alu","component":"int-alu","threads":1,"iters":1000,"placement":"none","meter":"mock","power_w_summary":{"mean":12}}}` + "\n"
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append a v2 record with counters on top of the v1 file.
+	withCounters := mkResult("chase-dram", 1, "none")
+	withCounters.Counters = &harness.Counters{
+		Backend: "mock",
+		Events:  []harness.CounterEvent{{Event: "llc-misses", TotalMean: 5.5e6, RateHzMean: 5.5e7}},
+		Threads: []harness.CounterThread{{CPU: -1, TotalMean: []float64{5.5e6}, RateHzMean: []float64{5.5e7}}},
+		Reps:    2,
+	}
+	if _, err := Append(path, []harness.Result{withCounters}); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatalf("mixed v1/v2 store failed to load: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("loaded %d records, want 2", len(recs))
+	}
+	if recs[0].V != 1 || recs[0].Result.Counters != nil {
+		t.Errorf("v1 record = v%d counters=%v, want v1 with no counters", recs[0].V, recs[0].Result.Counters)
+	}
+	if recs[1].V != SchemaVersion {
+		t.Errorf("appended record schema = %d, want %d", recs[1].V, SchemaVersion)
+	}
+	c := recs[1].Result.Counters
+	if c == nil || len(c.Events) != 1 || c.Events[0].Event != "llc-misses" || c.Events[0].RateHzMean != 5.5e7 {
+		t.Errorf("counters did not round-trip: %+v", c)
+	}
+}
