@@ -4,7 +4,7 @@ GO ?= go
 COVER_PKGS := ./internal/stats/... ./internal/meter/... ./internal/perf/... ./internal/model/... ./internal/store/... ./internal/harness/... ./internal/campaign/...
 COVER_FLOOR := 70
 
-.PHONY: all build test lint staticcheck cover fuzz bench bench-json smoke clean
+.PHONY: all build test lint staticcheck cover fuzz bench bench-json bench-store smoke clean
 
 all: lint build test
 
@@ -48,6 +48,14 @@ bench-json:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/bench | $(GO) run ./cmd/benchjson > BENCH_kernels.json
 	@echo "wrote BENCH_kernels.json"
 
+# The CI store scale smoke: a 50k-record synthetic corpus through the
+# sharded store's append/query/compact lifecycle, self-verified, with the
+# measured throughput written to BENCH_store.json (the artifact CI publishes).
+bench-store: build
+	rm -rf scale-store
+	./bin/energybench store bench --db=scale-store --records=50000 > BENCH_store.json
+	@echo "wrote BENCH_store.json"
+
 # The CI campaign smoke: subprocess executor, core-leasing scheduler,
 # --parallel 4, store + resume, then the analysis pipeline over the store —
 # plus the mock-counter leg (run --counters → analyze --activity=counters).
@@ -64,4 +72,4 @@ smoke: build
 	@echo "smoke campaign OK ($$(wc -l < smoke-results.jsonl) stored results, $$(wc -l < counter-smoke.jsonl) with counters)"
 
 clean:
-	rm -rf bin cover.out BENCH_kernels.json smoke-results.jsonl counter-smoke.jsonl counter-analysis.json
+	rm -rf bin cover.out BENCH_kernels.json BENCH_store.json scale-store smoke-results.jsonl counter-smoke.jsonl counter-analysis.json

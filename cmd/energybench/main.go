@@ -1,11 +1,13 @@
 // Command energybench sweeps a micro-benchmark exploration space
 // (kernels × thread counts × placements, solo or co-run pairs), measures
-// energy per configuration, persists results to a JSONL store, and derives
-// the paper's analyses: a fitted linear power model and co-run interference.
+// energy per configuration, persists results to a result store (single JSONL
+// file or sharded segment directory), and derives the paper's analyses: a
+// fitted linear power model and co-run interference.
 //
 //	energybench list
 //	energybench run --meter=mock --reps=3 --threads=1,2 --store=results.jsonl
-//	energybench store --db=results.jsonl
+//	energybench store query --db=results.jsonl --where spec=daxpy
+//	energybench store compact --db=results.jsonl --shard
 //	energybench analyze --db=results.jsonl
 //	energybench compare --db=results.jsonl
 package main
@@ -19,7 +21,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"strconv"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -73,9 +75,18 @@ func usage(w io.Writer) {
   energybench list [flags]         print the benchmark catalog as JSON; with
                                    space flags, print the planned trial count instead
   energybench run [flags]          sweep the exploration space, print JSON results
-  energybench store [flags]        append results to / inspect a JSONL result store
+  energybench store query [flags]    stream matching records (or --keys) out of a store
+  energybench store add [flags]      append a 'run' JSON result file to a store
+  energybench store compact [flags]  rewrite a store deduplicated; --shard migrates
+                                     a single file to the sharded segment layout
+  energybench store bench [flags]    synthesize a corpus, measure and verify the store
+  energybench store [flags]        legacy flag form of the above (--add/--compact/filters)
   energybench analyze [flags]      fit the linear power model over a store
   energybench compare [flags]      report co-run interference vs solo baselines
+
+A store path is either a single JSONL file or a sharded segment-store
+directory; every subcommand auto-detects the layout. 'run --store' creates a
+single file for .jsonl/.json paths and a sharded store otherwise.
 
 space flags (run, and list for sizing a sweep):
   --specs=a,b         comma-separated spec names (default: full catalog)
@@ -115,10 +126,11 @@ run flags:
                       activity backend (default perf: Linux perf_event_open,
                       needs perf_event_paranoid <= 2 or CAP_PERFMON; mock
                       plants deterministic per-component rates for CI)
-  --store=PATH        also append results to the JSONL store at PATH,
+  --store=PATH        also append results to the store at PATH (.jsonl/.json:
+                      single file; otherwise a sharded segment directory),
                       flushed per configuration
-  --resume            skip trials whose configuration key the --store file
-                      already holds (logs the skip count)
+  --resume            skip trials whose configuration key the --store already
+                      holds (logs the skip count; reads only the key index)
   --dry-run           print the planned trials as JSON and exit without running
   --progress          log one line per completed trial to stderr
 
@@ -126,14 +138,22 @@ worker-trial:         internal: run one trial read from stdin and print a
                       result envelope (spawned by --executor=subprocess)
 
 store flags:
-  --db=PATH           store file (required)
-  --add=FILE          append results from a 'run' JSON file ('-' for stdin)
-  --compact           rewrite the store deduplicated
-  --specs, --threads, --placement   filter listed records
+  --db=PATH           store file or directory (required)
+  --keys              (query) print the sorted configuration-key set instead
+                      of records — the resume view; reads only the key index
+  --from=FILE         (add) results JSON file from 'run' ('-' for stdin)
+  --shard             (compact) convert a single-file store to the sharded
+                      segment layout in place, compacting as it goes
+  --records=N         (bench) synthetic corpus size, duplicates included (default 50000)
+  --where f=v,...     filter: spec|threads|placement|meter|key pairs;
+                      repeatable, same-field values OR, distinct fields AND
+  --specs, --threads, --placement   legacy spellings of the same filters
+  legacy flag form:   --add=FILE appends, --compact rewrites deduplicated,
+                      filters alone list matching records
 
 analyze / compare flags:
-  --db=PATH           store file (required)
-  --specs, --threads, --placement   filter the results used
+  --db=PATH           store file or directory (required)
+  --where f=v,...     filter the results used (plus the legacy spellings)
   --activity=nominal|counters   (analyze) derive per-component activity from
                       workload labels × thread counts (nominal, default) or
                       from measured hardware event rates (counters; needs a
@@ -458,53 +478,28 @@ func executeSweep(ctx context.Context, cfg sweepConfig, stdout, stderr io.Writer
 	return runErr
 }
 
-// filterFlags registers the store filter flags on fs and returns a builder
-// that parses them after fs.Parse.
-func filterFlags(fs *flag.FlagSet) func() (store.Filter, error) {
-	specs := fs.String("specs", "", "comma-separated spec names to keep")
-	threads := fs.String("threads", "", "comma-separated thread counts to keep")
-	placement := fs.String("placement", "", "comma-separated placements to keep")
-	return func() (store.Filter, error) {
-		f := store.Filter{
-			Specs:      splitNonEmpty(*specs),
-			Placements: splitNonEmpty(*placement),
-		}
-		for _, p := range f.Placements {
-			if _, err := harness.ParsePlacement(p); err != nil {
-				return f, err
-			}
-		}
-		if *threads != "" {
-			var err error
-			if f.Threads, err = parseIntList(*threads); err != nil {
-				return f, fmt.Errorf("--threads: %w", err)
-			}
-		}
-		return f, nil
-	}
-}
-
-// loadFiltered loads a store and applies the filter flags.
-func loadFiltered(db string, filter func() (store.Filter, error)) ([]harness.Result, error) {
-	if db == "" {
-		return nil, fmt.Errorf("--db is required")
-	}
-	f, err := filter()
-	if err != nil {
-		return nil, err
-	}
-	recs, err := store.Load(db)
-	if err != nil {
-		return nil, err
-	}
-	return store.Results(recs, f), nil
-}
-
+// cmdStore dispatches the store subcommand: explicit verbs (query, compact,
+// add, bench) plus the historical flag-driven form (`store --db=... [--add
+// |--compact|filters]`), which keeps its exact surface and output.
 func cmdStore(args []string, stdout, stderr io.Writer) error {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		switch args[0] {
+		case "query":
+			return cmdStoreQuery(args[1:], stdout, stderr)
+		case "compact":
+			return cmdStoreCompact(args[1:], stdout, stderr)
+		case "add":
+			return cmdStoreAdd(args[1:], stdout, stderr)
+		case "bench":
+			return cmdStoreBench(args[1:], stdout, stderr)
+		default:
+			return fmt.Errorf("unknown store subcommand %q (want query|compact|add|bench, or flags)", args[0])
+		}
+	}
 	fs := flag.NewFlagSet("store", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		db      = fs.String("db", "", "store file")
+		db      = fs.String("db", "", "store file or directory")
 		add     = fs.String("add", "", "append results from this 'run' JSON file ('-' for stdin)")
 		compact = fs.Bool("compact", false, "rewrite the store deduplicated")
 	)
@@ -516,24 +511,7 @@ func cmdStore(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("--db is required")
 	}
 	if *add != "" {
-		var r io.Reader = os.Stdin
-		if *add != "-" {
-			f, err := os.Open(*add)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			r = f
-		}
-		var results []harness.Result
-		if err := json.NewDecoder(r).Decode(&results); err != nil {
-			return fmt.Errorf("decoding results from %s: %w", *add, err)
-		}
-		n, err := store.Append(*db, results)
-		if err != nil {
-			return err
-		}
-		return writeJSON(stdout, map[string]any{"db": *db, "added": n})
+		return storeAdd(*db, *add, stdout)
 	}
 	if *compact {
 		kept, err := store.Compact(*db)
@@ -542,21 +520,129 @@ func cmdStore(args []string, stdout, stderr io.Writer) error {
 		}
 		return writeJSON(stdout, map[string]any{"db": *db, "kept": kept})
 	}
+	return storeQuery(*db, filter, false, stdout)
+}
+
+// cmdStoreQuery streams matching records out of a store of either layout.
+func cmdStoreQuery(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("store query", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	db := fs.String("db", "", "store file or directory")
+	keysOnly := fs.Bool("keys", false, "print the sorted configuration-key set instead of records (the resume view; index-only, no filters)")
+	filter := filterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *db == "" {
+		return fmt.Errorf("--db is required")
+	}
+	return storeQuery(*db, filter, *keysOnly, stdout)
+}
+
+func storeQuery(db string, filter func() (store.Filter, error), keysOnly bool, stdout io.Writer) error {
 	f, err := filter()
 	if err != nil {
 		return err
 	}
-	recs, err := store.Load(*db)
+	st, err := store.Open(db)
 	if err != nil {
 		return err
 	}
-	var out []store.Record
-	for _, rec := range recs {
-		if f.Match(rec.Result) {
-			out = append(out, rec)
+	defer st.Close()
+	if keysOnly {
+		if !f.IsZero() {
+			return fmt.Errorf("--keys lists the full resume key set and takes no filters")
 		}
+		set, err := st.Keys()
+		if err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(set))
+		for k := range set {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return writeJSON(stdout, keys)
+	}
+	out := []store.Record{}
+	for rec, err := range st.Query(f) {
+		if err != nil {
+			return err
+		}
+		out = append(out, rec)
+	}
+	if len(out) == 0 {
+		out = nil // match the legacy listing's `null` for an empty result
 	}
 	return writeJSON(stdout, out)
+}
+
+// cmdStoreCompact rewrites a store deduplicated; --shard additionally
+// migrates a single-file store to the sharded segment layout in place.
+func cmdStoreCompact(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("store compact", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	db := fs.String("db", "", "store file or directory")
+	shard := fs.Bool("shard", false, "convert a single-file store to the sharded segment layout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *db == "" {
+		return fmt.Errorf("--db is required")
+	}
+	if *shard {
+		kept, err := store.Shard(*db)
+		if err != nil {
+			return err
+		}
+		st, err := store.Open(*db)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		return writeJSON(stdout, map[string]any{"db": *db, "kept": kept, "sharded": true, "segments": st.Segments()})
+	}
+	kept, err := store.Compact(*db)
+	if err != nil {
+		return err
+	}
+	return writeJSON(stdout, map[string]any{"db": *db, "kept": kept})
+}
+
+// cmdStoreAdd appends a 'run' JSON result file to a store.
+func cmdStoreAdd(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("store add", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	db := fs.String("db", "", "store file or directory")
+	from := fs.String("from", "", "results JSON file from 'run' ('-' for stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *db == "" || *from == "" {
+		return fmt.Errorf("--db and --from are required")
+	}
+	return storeAdd(*db, *from, stdout)
+}
+
+func storeAdd(db, from string, stdout io.Writer) error {
+	var r io.Reader = os.Stdin
+	if from != "-" {
+		f, err := os.Open(from)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	var results []harness.Result
+	if err := json.NewDecoder(r).Decode(&results); err != nil {
+		return fmt.Errorf("decoding results from %s: %w", from, err)
+	}
+	n, err := store.Append(db, results)
+	if err != nil {
+		return err
+	}
+	return writeJSON(stdout, map[string]any{"db": db, "added": n})
 }
 
 // analysis is the analyze subcommand's output document.
@@ -581,7 +667,7 @@ func cmdAnalyze(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	results, err := loadFiltered(*db, filter)
+	results, err := queryFiltered(*db, filter)
 	if err != nil {
 		return err
 	}
@@ -622,7 +708,7 @@ func cmdCompare(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	results, err := loadFiltered(*db, filter)
+	results, err := queryFiltered(*db, filter)
 	if err != nil {
 		return err
 	}
@@ -637,41 +723,4 @@ func writeJSON(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(v)
-}
-
-func splitNonEmpty(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if part = strings.TrimSpace(part); part != "" {
-			out = append(out, part)
-		}
-	}
-	return out
-}
-
-// parseIntList parses a comma-separated list of strictly positive integers,
-// rejecting zero/negative values and silently dropping duplicates (order of
-// first appearance is kept).
-func parseIntList(s string) ([]int, error) {
-	parts := splitNonEmpty(s)
-	if len(parts) == 0 {
-		return nil, fmt.Errorf("empty list")
-	}
-	seen := make(map[int]bool, len(parts))
-	out := make([]int, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.Atoi(p)
-		if err != nil {
-			return nil, fmt.Errorf("bad integer %q", p)
-		}
-		if v <= 0 {
-			return nil, fmt.Errorf("value %d must be a positive integer", v)
-		}
-		if seen[v] {
-			continue
-		}
-		seen[v] = true
-		out = append(out, v)
-	}
-	return out, nil
 }

@@ -47,7 +47,9 @@ type Campaign struct {
 	// TrialTimeout is a Go duration ("90s", "2m") bounding one trial's wall
 	// clock under the subprocess executor; empty means no limit.
 	TrialTimeout string `json:"trial_timeout,omitempty"`
-	// Store is the JSONL result store path, flushed per configuration.
+	// Store is the result store path, flushed per configuration: a single
+	// JSONL file for .jsonl/.json paths, a sharded segment directory
+	// otherwise.
 	Store string `json:"store,omitempty"`
 	// Resume skips trials whose configuration key Store already holds.
 	Resume bool `json:"resume,omitempty"`

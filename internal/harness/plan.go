@@ -2,6 +2,8 @@ package harness
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"energybench/internal/bench"
 	"energybench/internal/perf"
@@ -86,6 +88,66 @@ func (t Trial) Key(meterName string) string {
 // results with the same key measured the same configuration.
 func ResultKey(r Result) string {
 	return configKey(r.Spec, r.SpecB, r.Threads, r.ThreadsB, r.Placement, r.Meter, r.Iters, r.ItersB)
+}
+
+// KeyFields are the configuration components encoded in a key, as
+// recovered by ParseKey.
+type KeyFields struct {
+	Spec      string
+	SpecB     string
+	Threads   int
+	ThreadsB  int
+	Placement Placement
+	Meter     string
+	Iters     int
+	ItersB    int
+}
+
+// ParseKey decodes a configuration key produced by Trial.Key/ResultKey
+// back into its components, letting stores filter on spec, threads,
+// placement, and meter from their key index alone — without deserializing
+// any result. ok is false for keys in an unknown format (e.g. written by a
+// different build); callers using keys as a query pre-filter must then
+// fall back to reading the record itself.
+func ParseKey(key string) (KeyFields, bool) {
+	parts := strings.Split(key, "|")
+	if len(parts) != 6 {
+		return KeyFields{}, false
+	}
+	kf := KeyFields{
+		Spec:      parts[0],
+		SpecB:     parts[1],
+		Placement: Placement(parts[3]),
+		Meter:     parts[4],
+	}
+	var ok bool
+	if kf.Threads, kf.ThreadsB, ok = parseKeyPair(parts[2], 't'); !ok {
+		return KeyFields{}, false
+	}
+	if kf.Iters, kf.ItersB, ok = parseKeyPair(parts[5], 'i'); !ok {
+		return KeyFields{}, false
+	}
+	return kf, true
+}
+
+// parseKeyPair strictly decodes a "<prefix>N+M" key component, rejecting
+// any trailing garbage so a foreign key can never silently parse wrong.
+func parseKeyPair(s string, prefix byte) (a, b int, ok bool) {
+	if len(s) == 0 || s[0] != prefix {
+		return 0, 0, false
+	}
+	aStr, bStr, found := strings.Cut(s[1:], "+")
+	if !found {
+		return 0, 0, false
+	}
+	var err error
+	if a, err = strconv.Atoi(aStr); err != nil {
+		return 0, 0, false
+	}
+	if b, err = strconv.Atoi(bStr); err != nil {
+		return 0, 0, false
+	}
+	return a, b, true
 }
 
 // Plan validates the space and expands it into the explicit ordered trial

@@ -112,6 +112,40 @@ func TestTrialKeyMatchesResultKey(t *testing.T) {
 	}
 }
 
+// TestParseKeyRoundTrip: ParseKey must invert configKey exactly — the store
+// leans on it to answer filtered queries from key indexes alone.
+func TestParseKeyRoundTrip(t *testing.T) {
+	cases := []Result{
+		{Spec: "int-alu", Threads: 1, Iters: 1000, Placement: PlaceNone, Meter: "mock"},
+		{Spec: "fp-mac", Threads: 8, Iters: 250, Placement: PlaceScatter, Meter: "rapl"},
+		{Spec: "chase-l1", SpecB: "chase-dram", Threads: 2, ThreadsB: 2,
+			Iters: 1000, ItersB: 500, Placement: PlaceCompact, Meter: "mock"},
+	}
+	for _, r := range cases {
+		key := ResultKey(r)
+		kf, ok := ParseKey(key)
+		if !ok {
+			t.Errorf("ParseKey(%q) failed", key)
+			continue
+		}
+		want := KeyFields{Spec: r.Spec, SpecB: r.SpecB, Threads: r.Threads, ThreadsB: r.ThreadsB,
+			Placement: r.Placement, Meter: r.Meter, Iters: r.Iters, ItersB: r.ItersB}
+		if kf != want {
+			t.Errorf("ParseKey(%q) = %+v, want %+v", key, kf, want)
+		}
+	}
+
+	// Foreign formats must be rejected, not half-parsed.
+	for _, bad := range []string{
+		"", "free text", "a|b|c|d|e|f", "a|b|t1+1|d|e|f", "a|b|t1+1|d|e|i1",
+		"a|b|x1+1|d|e|i1+1", "a|b|t1+1x|d|e|i1+1", "a|b|t1+1|d|e|i1+1|extra",
+	} {
+		if _, ok := ParseKey(bad); ok {
+			t.Errorf("ParseKey(%q) = ok, want rejection", bad)
+		}
+	}
+}
+
 func TestFilterTrials(t *testing.T) {
 	trials, err := Plan(tinySpace(t))
 	if err != nil {

@@ -1,0 +1,254 @@
+package store
+
+// This file implements the single-file JSONL layout: the original store
+// format, one record per line. Reads go through an envelope-only line scan
+// (v and key, never the result payload) that feeds the same dedup index
+// the sharded layout builds from its sidecars, so Query/Keys semantics are
+// identical across layouts.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// envelope is the per-line metadata the index scan decodes — deliberately
+// excluding the result, which can be orders of magnitude larger.
+type envelope struct {
+	V   int    `json:"v"`
+	Key string `json:"key"`
+}
+
+// fileWriter is an open appender on a single-file store.
+type fileWriter struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// fileAppendRaw opens the file on first use (creating it, and truncating a
+// crash-torn trailing partial line — its record was already unrecoverable,
+// and appending after it would corrupt the new record too), then buffers
+// the line.
+func (s *Store) fileAppendRaw(line []byte) error {
+	if s.fw == nil {
+		f, err := os.OpenFile(s.path, os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := truncateTornLine(f); err != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+		s.fw = &fileWriter{f: f, bw: bufio.NewWriter(f)}
+	}
+	if _, err := s.fw.bw.Write(line); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.fw.bw.WriteByte('\n'); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+func (w *fileWriter) flush() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	return nil
+}
+
+func (w *fileWriter) close(sync bool) error {
+	err := w.flush()
+	if sync && err == nil {
+		if serr := w.f.Sync(); serr != nil {
+			err = fmt.Errorf("store: fsync: %w", serr)
+		}
+	}
+	if cerr := w.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("store: close: %w", cerr)
+	}
+	return err
+}
+
+// cleanLength returns the byte length of the file's cleanly terminated
+// prefix — everything up to and including the last newline — scanning
+// backwards so a huge store is not read to find a torn tail.
+func cleanLength(f *os.File) (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return 0, nil
+	}
+	buf := make([]byte, 64<<10)
+	end := size
+	for end > 0 {
+		n := int64(len(buf))
+		if n > end {
+			n = end
+		}
+		if _, err := f.ReadAt(buf[:n], end-n); err != nil {
+			return 0, err
+		}
+		for i := n - 1; i >= 0; i-- {
+			if buf[i] == '\n' {
+				return end - n + i + 1, nil
+			}
+		}
+		end -= n
+	}
+	// No newline at all: the whole file is one torn line.
+	return 0, nil
+}
+
+// truncateTornLine drops an unterminated final line left by a crash
+// mid-append.
+func truncateTornLine(f *os.File) error {
+	clean, err := cleanLength(f)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if clean == st.Size() {
+		return nil
+	}
+	return f.Truncate(clean)
+}
+
+// fileIndex builds the dedup index by scanning line envelopes. Error
+// semantics match the historical Load exactly: a torn or malformed final
+// line is tolerated (crash mid-append), a malformed line with records
+// after it is corruption, and a record from a newer schema is rejected.
+func (s *Store) fileIndex(f Filter) (*index, error) {
+	fh, err := os.Open(s.path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer fh.Close()
+
+	ix := newIndex()
+	r := bufio.NewReaderSize(fh, 64<<10)
+	var off int64
+	lineNo := 0
+	for {
+		line, rerr := r.ReadBytes('\n')
+		if len(line) == 0 {
+			if rerr == io.EOF {
+				return ix, nil
+			}
+			if rerr != nil {
+				return nil, fmt.Errorf("store: %s: %w", s.path, rerr)
+			}
+			continue
+		}
+		lineNo++
+		content := bytes.TrimSuffix(line, []byte{'\n'})
+		if len(content) > maxLine {
+			return nil, fmt.Errorf("store: %s:%d: line exceeds %d bytes", s.path, lineNo, maxLine)
+		}
+		if len(content) > 0 {
+			var env envelope
+			if jerr := json.Unmarshal(content, &env); jerr != nil {
+				// A torn or malformed final line is expected after a crash
+				// mid-append; a malformed line with data after it is
+				// corruption.
+				if atEOF(r, rerr) {
+					return ix, nil
+				}
+				return nil, fmt.Errorf("store: %s:%d: %w", s.path, lineNo, jerr)
+			}
+			if env.V < 1 || env.V > SchemaVersion {
+				return nil, fmt.Errorf("store: %s:%d: record schema v%d not supported (this build reads up to v%d)",
+					s.path, lineNo, env.V, SchemaVersion)
+			}
+			if f.MatchKey(env.Key) {
+				ix.add(env.Key, loc{off: off, n: len(content)})
+			}
+		}
+		off += int64(len(line))
+		if rerr == io.EOF {
+			return ix, nil
+		}
+		if rerr != nil {
+			return nil, fmt.Errorf("store: %s: %w", s.path, rerr)
+		}
+	}
+}
+
+// atEOF reports whether the reader has no further content beyond the line
+// whose read returned rerr.
+func atEOF(r *bufio.Reader, rerr error) bool {
+	if rerr == io.EOF {
+		return true
+	}
+	_, perr := r.Peek(1)
+	return perr == io.EOF
+}
+
+// fileCompact rewrites the file keeping only each key's winning record,
+// byte for byte, in first-appearance order. The rewrite goes through a
+// temp file and rename, so a crash leaves either the old or the new store
+// intact.
+func (s *Store) fileCompact(ix *index) (kept int, err error) {
+	src, err := os.Open(s.path)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	defer src.Close()
+
+	tmp, err := os.CreateTemp(filepath.Dir(s.path), "store-compact-*")
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	buf := []byte{}
+	for _, key := range ix.order {
+		l := ix.winner[key]
+		if cap(buf) < l.n {
+			buf = make([]byte, l.n)
+		}
+		buf = buf[:l.n]
+		if _, err := src.ReadAt(buf, l.off); err != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		if _, err := w.Write(buf); err != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("store: flush: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("store: fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("store: close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	syncDir(filepath.Dir(s.path))
+	return len(ix.order), nil
+}

@@ -1,0 +1,49 @@
+package store
+
+import "energybench/internal/harness"
+
+// Sink is a harness.ResultSink that appends each completed configuration
+// to the store as it finishes, flushed per record so a sweep killed
+// mid-flight (SIGINT, crash) never loses a completed trial. The store is
+// created on first Consume — a single-file store for .jsonl paths, a
+// sharded segment store for directory paths. Close flushes and fsyncs the
+// active segment (or file) and updates the sharded manifest, so nothing
+// consumed can be lost once Close returns.
+type Sink struct {
+	path  string
+	st    *Store
+	count int
+}
+
+// NewSink returns a per-configuration flushing sink over the store at path.
+func NewSink(path string) *Sink { return &Sink{path: path} }
+
+// Consume appends one result and flushes it to disk before returning.
+func (s *Sink) Consume(r harness.Result) error {
+	if s.st == nil {
+		st, err := Create(s.path)
+		if err != nil {
+			return err
+		}
+		s.st = st
+	}
+	if _, err := s.st.Append([]harness.Result{r}); err != nil {
+		return err
+	}
+	s.count++
+	return nil
+}
+
+// Count reports how many results this sink has persisted.
+func (s *Sink) Count() int { return s.count }
+
+// Close fsyncs everything consumed and seals the store's bookkeeping; it
+// is safe to call with nothing consumed.
+func (s *Sink) Close() error {
+	if s.st == nil {
+		return nil
+	}
+	err := s.st.Close()
+	s.st = nil
+	return err
+}

@@ -70,6 +70,50 @@ func TestSinkFlushesPerResult(t *testing.T) {
 	}
 }
 
+// TestSinkShardedDurability: the same per-Consume durability over a sharded
+// store directory, plus the Close contract — Close must seal the active
+// segment and record its count in the manifest (the historical no-op Close
+// left the manifest stale).
+func TestSinkShardedDurability(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db-store")
+	s := NewSink(path)
+	for i, r := range []harness.Result{
+		mkResult("int-alu", 1, "none"),
+		mkResult("int-alu", 2, "none"),
+	} {
+		if err := s.Consume(r); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(path)
+		if err != nil {
+			t.Fatalf("after %d consumes: %v", i+1, err)
+		}
+		keys, err := st.Keys()
+		st.Close()
+		if err != nil {
+			t.Fatalf("after %d consumes: %v", i+1, err)
+		}
+		if len(keys) != i+1 {
+			t.Fatalf("after %d consumes the store holds %d keys", i+1, len(keys))
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	total := 0
+	for _, seg := range st.man.Segments {
+		total += seg.Records
+	}
+	if total != 2 {
+		t.Errorf("manifest record counts sum to %d after Close, want 2", total)
+	}
+}
+
 // TestSinkSurfacesWriteErrors: an unwritable store path must fail Consume,
 // aborting the sweep rather than silently dropping results.
 func TestSinkSurfacesWriteErrors(t *testing.T) {

@@ -1,21 +1,21 @@
-// Package store persists harness results as a versioned JSONL file, one
-// record per line. Appending is cheap and crash-tolerant (a torn final line
-// is skipped on load), runs from different invocations accumulate into one
-// dataset, and loading dedups by configuration key (last write wins) so
-// re-running a configuration supersedes its old measurement. This is what
-// turns one-shot sweeps into the accumulating datasets the model-fitting
-// layer consumes.
+// Package store persists harness results as versioned JSONL records in one
+// of two layouts behind a single API. A plain single-file JSONL store (the
+// original format) keeps one record per line; a sharded segment store is a
+// directory of append-only segment files plus a manifest listing live
+// segments and a per-key sidecar index per segment, so key scans and point
+// lookups never deserialize the corpus. Open auto-detects the layout, and
+// Query streams deduped records — last write per configuration key wins,
+// first-appearance order is preserved — through the same iterator for both,
+// so consumers are layout-agnostic. Appending is cheap and crash-tolerant
+// (a torn final line is skipped per file/segment), runs from different
+// invocations accumulate into one dataset, and re-running a configuration
+// supersedes its old measurement. This is what turns one-shot sweeps into
+// the accumulating datasets the model-fitting layer consumes.
 package store
 
 import (
-	"bufio"
-	"encoding/json"
 	"errors"
-	"fmt"
-	"io"
 	"io/fs"
-	"os"
-	"path/filepath"
 	"time"
 
 	"energybench/internal/harness"
@@ -53,224 +53,57 @@ func Key(r harness.Result) string {
 	return harness.ResultKey(r)
 }
 
-// Append writes the results to the store at path, creating it if needed,
-// and returns how many records were written. A crash-torn trailing partial
-// line (missing its newline) is truncated away first — its record was
-// already unrecoverable, and appending after it would corrupt the new
-// record too.
-func Append(path string, results []harness.Result) (int, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return 0, fmt.Errorf("store: %w", err)
-	}
-	if err := truncateTornLine(f); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("store: %w", err)
-	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("store: %w", err)
-	}
-	w := bufio.NewWriter(f)
-	enc := json.NewEncoder(w)
-	now := time.Now().UTC()
-	for _, res := range results {
-		if err := enc.Encode(Record{V: SchemaVersion, Key: Key(res), SavedAt: now, Result: res}); err != nil {
-			f.Close()
-			return 0, fmt.Errorf("store: encode: %w", err)
-		}
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("store: flush: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return 0, fmt.Errorf("store: close: %w", err)
-	}
-	return len(results), nil
-}
-
-// truncateTornLine drops an unterminated final line left by a crash
-// mid-append, scanning backwards for the last newline.
-func truncateTornLine(f *os.File) error {
-	st, err := f.Stat()
-	if err != nil {
-		return err
-	}
-	size := st.Size()
-	if size == 0 {
-		return nil
-	}
-	buf := make([]byte, 64<<10)
-	end := size
-	for end > 0 {
-		n := int64(len(buf))
-		if n > end {
-			n = end
-		}
-		if _, err := f.ReadAt(buf[:n], end-n); err != nil {
-			return err
-		}
-		// On the first (rightmost) chunk, a trailing newline means the
-		// file is cleanly terminated and nothing needs repair.
-		if end == size && buf[n-1] == '\n' {
-			return nil
-		}
-		for i := n - 1; i >= 0; i-- {
-			if buf[i] == '\n' {
-				return f.Truncate(end - n + i + 1)
-			}
-		}
-		end -= n
-	}
-	// No newline at all: the whole file is one torn line.
-	return f.Truncate(0)
-}
-
-// Load reads every record from the store at path and dedups by key with the
-// last occurrence winning, preserving first-appearance order so output is
-// stable across re-runs of individual configurations. A truncated final
-// line (crash mid-append) is tolerated; any other malformed line or a
-// record from a newer schema is an error.
-func Load(path string) ([]Record, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	defer f.Close()
-
-	byKey := map[string]int{} // key → index in out
-	var out []Record
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 64<<10), maxLine)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil {
-			// A torn final line is expected after a crash mid-append; a
-			// malformed line with records after it is corruption.
-			if !sc.Scan() {
-				break
-			}
-			return nil, fmt.Errorf("store: %s:%d: %w", path, lineNo, err)
-		}
-		if rec.V < 1 || rec.V > SchemaVersion {
-			return nil, fmt.Errorf("store: %s:%d: record schema v%d not supported (this build reads up to v%d)",
-				path, lineNo, rec.V, SchemaVersion)
-		}
-		if i, ok := byKey[rec.Key]; ok {
-			out[i] = rec
-			continue
-		}
-		byKey[rec.Key] = len(out)
-		out = append(out, rec)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("store: %s: %w", path, err)
-	}
-	return out, nil
-}
-
-// Keys returns the set of configuration keys the store at path holds, for
-// resumable sweeps: the planner drops trials whose key is already present.
-// A missing store file yields an empty set (a fresh sweep resumes trivially);
-// any other load failure is an error.
-func Keys(path string) (map[string]bool, error) {
-	recs, err := Load(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return map[string]bool{}, nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	keys := make(map[string]bool, len(recs))
-	for _, rec := range recs {
-		keys[rec.Key] = true
-	}
-	return keys, nil
-}
-
-// Sink is a harness.ResultSink that appends each completed configuration to
-// the store as it finishes, flushing and closing the file per record. A
-// sweep killed mid-flight (SIGINT, crash) therefore never loses a completed
-// trial: everything consumed before the interrupt is already durable.
-type Sink struct {
-	path  string
-	count int
-}
-
-// NewSink returns a per-configuration flushing sink over the store at path.
-func NewSink(path string) *Sink { return &Sink{path: path} }
-
-// Consume appends one result and flushes it to disk before returning.
-func (s *Sink) Consume(r harness.Result) error {
-	if _, err := Append(s.path, []harness.Result{r}); err != nil {
-		return err
-	}
-	s.count++
-	return nil
-}
-
-// Count reports how many results this sink has persisted.
-func (s *Sink) Count() int { return s.count }
-
-// Close is a no-op: every record is already flushed.
-func (s *Sink) Close() error { return nil }
-
-// Compact rewrites the store in place with duplicates removed, so long-lived
-// stores that re-measure configurations don't grow without bound. The
-// rewrite goes through a temp file and rename, so a crash leaves either the
-// old or the new store intact.
-func Compact(path string) (kept int, err error) {
-	recs, err := Load(path)
-	if err != nil {
-		return 0, err
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), "store-compact-*")
-	if err != nil {
-		return 0, fmt.Errorf("store: %w", err)
-	}
-	defer os.Remove(tmp.Name())
-	w := bufio.NewWriter(tmp)
-	enc := json.NewEncoder(w)
-	for _, rec := range recs {
-		if err := enc.Encode(rec); err != nil {
-			tmp.Close()
-			return 0, fmt.Errorf("store: encode: %w", err)
-		}
-	}
-	if err := w.Flush(); err != nil {
-		tmp.Close()
-		return 0, fmt.Errorf("store: flush: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return 0, fmt.Errorf("store: close: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return 0, fmt.Errorf("store: %w", err)
-	}
-	return len(recs), nil
-}
-
 // Filter selects stored results. Zero-value fields match everything; a
 // non-empty Specs matches a result whose primary or co-run spec is listed.
+// Keys and Meters select on the record's configuration key and energy
+// backend; in sharded stores every field is evaluated against the per-key
+// index first, so non-matching records are never read off disk.
 type Filter struct {
 	Specs      []string
 	Threads    []int
 	Placements []string
+	Meters     []string
+	Keys       []string
+}
+
+// IsZero reports whether the filter matches everything.
+func (f Filter) IsZero() bool {
+	return len(f.Specs) == 0 && len(f.Threads) == 0 && len(f.Placements) == 0 &&
+		len(f.Meters) == 0 && len(f.Keys) == 0
 }
 
 // Match reports whether the result passes the filter.
 func (f Filter) Match(r harness.Result) bool {
+	if len(f.Keys) > 0 && !containsString(f.Keys, harness.ResultKey(r)) {
+		return false
+	}
+	return f.matchFields(r.Spec, r.SpecB, r.Threads, string(r.Placement), r.Meter)
+}
+
+// MatchKey reports whether a record stored under the given configuration
+// key can pass the filter, judged from the key alone. It is conservative:
+// false only when the key proves a mismatch, true whenever the key cannot
+// decide (unparseable keys from foreign builds), so it is safe to use as an
+// index-level pre-filter before reading record bytes — Match is still the
+// authority on the decoded result.
+func (f Filter) MatchKey(key string) bool {
+	if len(f.Keys) > 0 && !containsString(f.Keys, key) {
+		return false
+	}
+	kf, ok := harness.ParseKey(key)
+	if !ok {
+		return true
+	}
+	return f.matchFields(kf.Spec, kf.SpecB, kf.Threads, string(kf.Placement), kf.Meter)
+}
+
+// matchFields is the single filter predicate shared by Match and MatchKey,
+// so the index pre-filter can never disagree with the record-level filter.
+func (f Filter) matchFields(spec, specB string, threads int, placement, meter string) bool {
 	if len(f.Specs) > 0 {
 		ok := false
 		for _, s := range f.Specs {
-			if r.Spec == s || (r.SpecB != "" && r.SpecB == s) {
+			if spec == s || (specB != "" && specB == s) {
 				ok = true
 				break
 			}
@@ -282,7 +115,7 @@ func (f Filter) Match(r harness.Result) bool {
 	if len(f.Threads) > 0 {
 		ok := false
 		for _, t := range f.Threads {
-			if r.Threads == t {
+			if threads == t {
 				ok = true
 				break
 			}
@@ -291,19 +124,22 @@ func (f Filter) Match(r harness.Result) bool {
 			return false
 		}
 	}
-	if len(f.Placements) > 0 {
-		ok := false
-		for _, p := range f.Placements {
-			if string(r.Placement) == p {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			return false
-		}
+	if len(f.Placements) > 0 && !containsString(f.Placements, placement) {
+		return false
+	}
+	if len(f.Meters) > 0 && !containsString(f.Meters, meter) {
+		return false
 	}
 	return true
+}
+
+func containsString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }
 
 // Results extracts the results passing the filter from loaded records.
@@ -315,4 +151,78 @@ func Results(recs []Record, f Filter) []harness.Result {
 		}
 	}
 	return out
+}
+
+// Load reads every record from the store at path and dedups by key with the
+// last occurrence winning, preserving first-appearance order. A truncated
+// final line (crash mid-append) is tolerated; any other malformed line or a
+// record from a newer schema is an error.
+//
+// Deprecated: Load materializes the whole corpus. Use Open and stream
+// Store.Query instead; Load remains only as a thin wrapper for callers that
+// genuinely need every record in memory.
+func Load(path string) ([]Record, error) {
+	st, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	var out []Record
+	for rec, err := range st.Query(Filter{}) {
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Keys returns the set of configuration keys the store at path holds, for
+// resumable sweeps: the planner drops trials whose key is already present.
+// A missing store yields an empty set (a fresh sweep resumes trivially);
+// any other failure is an error. Only key envelopes are read — results are
+// never deserialized.
+func Keys(path string) (map[string]bool, error) {
+	st, err := Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return map[string]bool{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	return st.Keys()
+}
+
+// Append writes the results to the store at path, creating it if needed
+// (a single-file store for .jsonl/.json paths, a sharded directory store
+// otherwise), and returns how many records were written.
+func Append(path string, results []harness.Result) (int, error) {
+	st, err := Create(path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := st.Append(results)
+	if cerr := st.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// Compact rewrites the store at path with duplicates removed, so long-lived
+// stores that re-measure configurations don't grow without bound. Record
+// bytes are preserved exactly; single-file stores are rewritten through a
+// temp file and rename, sharded stores into a fresh segment generation
+// committed by one manifest swap, so a crash leaves either the old or the
+// new store intact.
+func Compact(path string) (kept int, err error) {
+	st, err := Open(path)
+	if err != nil {
+		return 0, err
+	}
+	kept, err = st.Compact()
+	if cerr := st.Close(); err == nil {
+		err = cerr
+	}
+	return kept, err
 }
