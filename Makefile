@@ -4,9 +4,21 @@ GO ?= go
 COVER_PKGS := ./internal/stats/... ./internal/meter/... ./internal/perf/... ./internal/model/... ./internal/store/... ./internal/harness/... ./internal/campaign/...
 COVER_FLOOR := 70
 
-.PHONY: all build test lint staticcheck cover fuzz bench bench-json bench-store smoke clean
+# All transient outputs (coverage profiles, smoke stores, analysis JSON) land
+# under this gitignored directory, so a full `make ci` leaves `git status`
+# clean.
+SCRATCH := .scratch
+
+.PHONY: all ci build test lint staticcheck cover fuzz bench bench-json bench-store smoke smoke-sampling clean
 
 all: lint build test
+
+# ci runs the same gates as the GitHub workflow; it must finish with a clean
+# working tree (all droppings confined to $(SCRATCH)/ and other ignored paths).
+ci: lint staticcheck build test fuzz cover smoke smoke-sampling
+	@dirty=$$(git status --porcelain); if [ -n "$$dirty" ]; then \
+		echo "make ci left the tree dirty:" >&2; echo "$$dirty" >&2; exit 1; fi
+	@echo "ci OK (tree clean)"
 
 build:
 	$(GO) build ./...
@@ -30,9 +42,10 @@ staticcheck:
 	fi
 
 cover:
-	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
-	$(GO) tool cover -func=cover.out
-	@pct=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	@mkdir -p $(SCRATCH)
+	$(GO) test -coverprofile=$(SCRATCH)/cover.out $(COVER_PKGS)
+	$(GO) tool cover -func=$(SCRATCH)/cover.out
+	@pct=$$($(GO) tool cover -func=$(SCRATCH)/cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
 	echo "total coverage: $$pct%"; \
 	awk -v p="$$pct" -v floor="$(COVER_FLOOR)" 'BEGIN { exit !(p + 0 >= floor) }' || { \
 		echo "coverage $$pct% is below the $(COVER_FLOOR)% floor" >&2; exit 1; }
@@ -52,24 +65,41 @@ bench-json:
 # sharded store's append/query/compact lifecycle, self-verified, with the
 # measured throughput written to BENCH_store.json (the artifact CI publishes).
 bench-store: build
-	rm -rf scale-store
-	./bin/energybench store bench --db=scale-store --records=50000 > BENCH_store.json
+	@mkdir -p $(SCRATCH)
+	rm -rf $(SCRATCH)/scale-store
+	./bin/energybench store bench --db=$(SCRATCH)/scale-store --records=50000 > BENCH_store.json
 	@echo "wrote BENCH_store.json"
 
 # The CI campaign smoke: subprocess executor, core-leasing scheduler,
 # --parallel 4, store + resume, then the analysis pipeline over the store —
 # plus the mock-counter leg (run --counters → analyze --activity=counters).
 smoke: build
-	rm -f smoke-results.jsonl counter-smoke.jsonl
+	@mkdir -p $(SCRATCH)
+	rm -f $(SCRATCH)/smoke-results.jsonl $(SCRATCH)/counter-smoke.jsonl
 	./bin/energybench run --campaign testdata/smoke.yaml --progress > /dev/null
-	./bin/energybench analyze --db=smoke-results.jsonl > /dev/null
-	./bin/energybench compare --db=smoke-results.jsonl > /dev/null
+	./bin/energybench analyze --db=$(SCRATCH)/smoke-results.jsonl > /dev/null
+	./bin/energybench compare --db=$(SCRATCH)/smoke-results.jsonl > /dev/null
 	./bin/energybench run --specs=int-alu,chase-dram --threads=1,2 \
 		--reps=2 --warmup=0 --iter-scale=0.05 \
 		--counters=default --counter-backend=mock \
-		--store=counter-smoke.jsonl > /dev/null
-	./bin/energybench analyze --db=counter-smoke.jsonl --activity=counters > /dev/null
-	@echo "smoke campaign OK ($$(wc -l < smoke-results.jsonl) stored results, $$(wc -l < counter-smoke.jsonl) with counters)"
+		--store=$(SCRATCH)/counter-smoke.jsonl > /dev/null
+	./bin/energybench analyze --db=$(SCRATCH)/counter-smoke.jsonl --activity=counters > /dev/null
+	@echo "smoke campaign OK ($$(wc -l < $(SCRATCH)/smoke-results.jsonl) stored results, $$(wc -l < $(SCRATCH)/counter-smoke.jsonl) with counters)"
+
+# The CI sampling smoke: a time-resolved sweep against the mock meter with a
+# planted two-phase power schedule, then the phase/throttle analysis over the
+# stored series. Mirrors the sampling-smoke CI job; assertions live in
+# scripts/sampling_smoke_check.py.
+smoke-sampling: build
+	@mkdir -p $(SCRATCH)
+	rm -f $(SCRATCH)/sampling-smoke.jsonl
+	./bin/energybench run --meter=mock --mock-watts=42 --mock-schedule=0.1:20 \
+		--specs=int-alu --threads=1 --reps=2 --warmup=0 --iter-scale=60 \
+		--sample-interval=10ms \
+		--store=$(SCRATCH)/sampling-smoke.jsonl > /dev/null
+	./bin/energybench analyze --db=$(SCRATCH)/sampling-smoke.jsonl --phases > $(SCRATCH)/sampling-phases.json
+	python3 scripts/sampling_smoke_check.py $(SCRATCH)/sampling-smoke.jsonl $(SCRATCH)/sampling-phases.json BENCH_sampling.json
+	@echo "sampling smoke OK (wrote BENCH_sampling.json)"
 
 clean:
-	rm -rf bin cover.out BENCH_kernels.json BENCH_store.json scale-store smoke-results.jsonl counter-smoke.jsonl counter-analysis.json
+	rm -rf bin $(SCRATCH) cover.out BENCH_kernels.json BENCH_store.json BENCH_sampling.json scale-store smoke-results.jsonl counter-smoke.jsonl counter-analysis.json

@@ -63,6 +63,10 @@ func filterFlags(fs *flag.FlagSet) func() (store.Filter, error) {
 func applyWhere(f *store.Filter, clause string) error {
 	for _, pair := range splitNonEmpty(clause) {
 		field, value, ok := strings.Cut(pair, "=")
+		// Trim both sides of the '=': values are compared verbatim against
+		// stored fields, so an untrimmed "spec = chase-l1" would filter on
+		// " chase-l1" and silently match nothing.
+		value = strings.TrimSpace(value)
 		if !ok || value == "" {
 			return fmt.Errorf("pair %q is not of the form field=value", pair)
 		}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"energybench/internal/store"
+)
+
+func TestApplyWhere(t *testing.T) {
+	tests := []struct {
+		name    string
+		clause  string
+		want    store.Filter
+		wantErr bool
+	}{
+		{
+			name:   "plain",
+			clause: "spec=chase-l1",
+			want:   store.Filter{Specs: []string{"chase-l1"}},
+		},
+		{
+			name: "spaces-around-equals",
+			// Regression: the value used to keep its leading space and
+			// silently match zero records.
+			clause: "spec = chase-l1",
+			want:   store.Filter{Specs: []string{"chase-l1"}},
+		},
+		{
+			name:   "spaces-everywhere",
+			clause: " spec = chase-l1 , threads = 2 ",
+			want:   store.Filter{Specs: []string{"chase-l1"}, Threads: []int{2}},
+		},
+		{
+			name:   "multi-field",
+			clause: "spec=int-alu,placement=spread,meter=mock,key=abc",
+			want: store.Filter{
+				Specs:      []string{"int-alu"},
+				Placements: []string{"spread"},
+				Meters:     []string{"mock"},
+				Keys:       []string{"abc"},
+			},
+		},
+		{name: "empty-value", clause: "spec=", wantErr: true},
+		{name: "whitespace-value", clause: "spec=   ", wantErr: true},
+		{name: "no-equals", clause: "spec", wantErr: true},
+		{name: "unknown-field", clause: "bogus=1", wantErr: true},
+		{name: "bad-threads", clause: "threads=zero", wantErr: true},
+		{name: "padded-threads", clause: "threads= 4", want: store.Filter{Threads: []int{4}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var f store.Filter
+			err := applyWhere(&f, tc.clause)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("applyWhere(%q) succeeded, want error", tc.clause)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("applyWhere(%q): %v", tc.clause, err)
+			}
+			if !reflect.DeepEqual(f, tc.want) {
+				t.Errorf("applyWhere(%q) = %+v, want %+v", tc.clause, f, tc.want)
+			}
+		})
+	}
+}

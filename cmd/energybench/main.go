@@ -102,6 +102,9 @@ space flags (run, and list for sizing a sweep):
   --warmup=N          discarded warm-up repetitions (default 1)
   --iter-scale=F      scale every spec's default iteration count (default 1.0)
   --max-cv=F          CV threshold for outlier rejection, 0 disables (default 0.2)
+  --sample-interval=D poll the energy meter (and counter sessions) on this Go
+                      duration during each measured rep, storing a per-rep
+                      time-resolved series on every sample (0 disables)
 
 run flags:
   --campaign=FILE     run a declarative campaign file (YAML or JSON) naming
@@ -110,6 +113,9 @@ run flags:
                       --progress still apply)
   --meter=mock|rapl   energy backend (default mock; rapl needs /sys/class/powercap read access)
   --mock-watts=N      constant power the mock meter models (default 42)
+  --mock-schedule=S   piecewise-constant mock power schedule 'atS:watts,...'
+                      (e.g. '0.05:60,0.1:20'); before the first boundary the
+                      draw is --mock-watts; requires --meter=mock
   --executor=NAME     trial backend: inprocess (default) or subprocess —
                       each trial in a freshly exec'd worker child, so
                       pinning/warmup/metering run in a quiet process and a
@@ -157,7 +163,11 @@ analyze / compare flags:
   --activity=nominal|counters   (analyze) derive per-component activity from
                       workload labels × thread counts (nominal, default) or
                       from measured hardware event rates (counters; needs a
-                      store written by 'run --counters')`)
+                      store written by 'run --counters')
+  --phases            (analyze) segment stored time-resolved series into power
+                      phases (change-point detection with per-phase error
+                      bars) and flag sustained power declines (throttling);
+                      needs a store written by 'run --sample-interval'`)
 }
 
 // spaceFlags registers the exploration-space flags shared by run and list,
@@ -175,16 +185,18 @@ func spaceFlags(fs *flag.FlagSet) func() (harness.Space, error) {
 		warmup    = fs.Int("warmup", 1, "discarded warm-up repetitions")
 		iterScale = fs.Float64("iter-scale", 1.0, "scale factor applied to every spec's iteration count")
 		maxCV     = fs.Float64("max-cv", 0.2, "CV threshold for outlier rejection (0 disables)")
+		sampleInt = fs.Duration("sample-interval", 0, "poll the meter on this period during each measured rep, recording a time-resolved series (0 disables)")
 	)
 	return func() (harness.Space, error) {
 		space := harness.Space{
-			Reps:      *reps,
-			MinReps:   *minReps,
-			MaxReps:   *maxReps,
-			CVTarget:  *cvTarget,
-			Warmup:    *warmup,
-			IterScale: *iterScale,
-			MaxCV:     *maxCV,
+			Reps:           *reps,
+			MinReps:        *minReps,
+			MaxReps:        *maxReps,
+			CVTarget:       *cvTarget,
+			Warmup:         *warmup,
+			IterScale:      *iterScale,
+			MaxCV:          *maxCV,
+			SampleInterval: *sampleInt,
 		}
 		if *iterScale <= 0 {
 			return space, fmt.Errorf("--iter-scale must be positive, got %v", *iterScale)
@@ -264,13 +276,16 @@ type sweepConfig struct {
 	trials    []harness.Trial
 	meterName string
 	mockWatts float64
-	executor  string // campaign.ExecutorInProcess | campaign.ExecutorSubprocess
-	parallel  int
-	timeout   time.Duration
-	storePath string
-	resume    bool
-	dryRun    bool
-	progress  bool
+	// mockSchedule is the piecewise-constant mock power schedule in
+	// 'atS:watts,...' form; empty for a constant draw.
+	mockSchedule string
+	executor     string // campaign.ExecutorInProcess | campaign.ExecutorSubprocess
+	parallel     int
+	timeout      time.Duration
+	storePath    string
+	resume       bool
+	dryRun       bool
+	progress     bool
 	// counters is the normalized activity-metering spec the trials carry;
 	// nil when counters are off. Kept here so the sweep can probe the perf
 	// backend once up front instead of failing per trial.
@@ -285,6 +300,7 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		campaignPath   = fs.String("campaign", "", "run a declarative campaign file (YAML or JSON)")
 		meterName      = fs.String("meter", "mock", "energy backend: mock|rapl")
 		mockWatts      = fs.Float64("mock-watts", 42, "constant power modeled by the mock meter")
+		mockSchedule   = fs.String("mock-schedule", "", "piecewise-constant mock power schedule 'atS:watts,...' (requires --meter=mock)")
 		executor       = fs.String("executor", campaign.ExecutorInProcess, "trial backend: inprocess|subprocess")
 		parallel       = fs.Int("parallel", 1, "max concurrently running trials (requires --executor=subprocess when above 1)")
 		timeout        = fs.Duration("trial-timeout", 0, "kill a subprocess worker running longer than this (0: no limit)")
@@ -378,17 +394,18 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 			return err
 		}
 		cfg = sweepConfig{
-			trials:    trials,
-			meterName: *meterName,
-			mockWatts: *mockWatts,
-			executor:  *executor,
-			parallel:  *parallel,
-			timeout:   *timeout,
-			storePath: *storePath,
-			resume:    *resume,
-			dryRun:    *dryRun,
-			progress:  *progress,
-			counters:  counters,
+			trials:       trials,
+			meterName:    *meterName,
+			mockWatts:    *mockWatts,
+			mockSchedule: *mockSchedule,
+			executor:     *executor,
+			parallel:     *parallel,
+			timeout:      *timeout,
+			storePath:    *storePath,
+			resume:       *resume,
+			dryRun:       *dryRun,
+			progress:     *progress,
+			counters:     counters,
 		}
 	}
 	return executeSweep(ctx, cfg, stdout, stderr)
@@ -452,17 +469,17 @@ func executeSweep(ctx context.Context, cfg sweepConfig, stdout, stderr io.Writer
 		// (e.g. rapl without powercap read access) fails fast, instead of
 		// spawning one doomed worker per trial and reporting the same
 		// error hundreds of times.
-		if _, err := newMeter(cfg.meterName, cfg.mockWatts); err != nil {
+		if _, err := newMeter(cfg.meterName, cfg.mockWatts, cfg.mockSchedule); err != nil {
 			return err
 		}
-		exec, err := newSubprocessExecutor(cfg.meterName, cfg.mockWatts, cfg.timeout)
+		exec, err := newSubprocessExecutor(cfg.meterName, cfg.mockWatts, cfg.mockSchedule, cfg.timeout)
 		if err != nil {
 			return err
 		}
 		sched := &harness.Scheduler{Executor: exec, Parallel: cfg.parallel, Log: log}
 		runErr = sched.RunPlan(ctx, trials, sinks)
 	} else {
-		m, err := newMeter(cfg.meterName, cfg.mockWatts)
+		m, err := newMeter(cfg.meterName, cfg.mockWatts, cfg.mockSchedule)
 		if err != nil {
 			return err
 		}
@@ -663,6 +680,8 @@ func cmdAnalyze(args []string, stdout, stderr io.Writer) error {
 	db := fs.String("db", "", "store file")
 	activity := fs.String("activity", model.ActivityNominal,
 		"activity source for the fit: nominal (thread counts) or counters (measured event rates)")
+	phases := fs.Bool("phases", false,
+		"segment stored time-resolved series into power phases and detect throttling instead of fitting the model")
 	filter := filterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -670,6 +689,9 @@ func cmdAnalyze(args []string, stdout, stderr io.Writer) error {
 	results, err := queryFiltered(*db, filter)
 	if err != nil {
 		return err
+	}
+	if *phases {
+		return analyzePhases(results, stdout, stderr)
 	}
 	var obs []model.Observation
 	skipped := 0
@@ -698,6 +720,77 @@ func cmdAnalyze(args []string, stdout, stderr io.Writer) error {
 		Fit:               fit,
 		Marginals:         model.Marginals(results),
 	})
+}
+
+// phaseReport is the per-repetition phase/throttle analysis of one stored
+// time-resolved series.
+type phaseReport struct {
+	Key        string           `json:"key"`
+	Spec       string           `json:"spec"`
+	SpecB      string           `json:"spec_b,omitempty"`
+	Threads    int              `json:"threads"`
+	Placement  string           `json:"placement"`
+	Rep        int              `json:"rep"`
+	IntervalS  float64          `json:"interval_s"`
+	Points     int              `json:"points"`
+	MeanPowerW float64          `json:"mean_power_w"`
+	Phases     []model.Phase    `json:"phases"`
+	Throttles  []model.Throttle `json:"throttles,omitempty"`
+}
+
+// phaseAnalysis is the analyze --phases output document.
+type phaseAnalysis struct {
+	SchemaVersion int           `json:"schema_version"`
+	Reports       []phaseReport `json:"reports"`
+	// SkippedNoSeries counts stored results dropped because they carry no
+	// time-resolved series (written without --sample-interval, or pre-v3).
+	SkippedNoSeries int `json:"skipped_no_series,omitempty"`
+}
+
+// analyzePhases runs phase segmentation and throttle detection over every
+// stored repetition that carries a time-resolved series.
+func analyzePhases(results []harness.Result, stdout, stderr io.Writer) error {
+	doc := phaseAnalysis{SchemaVersion: store.SchemaVersion, Reports: []phaseReport{}}
+	for _, r := range results {
+		hasSeries := false
+		for rep, s := range r.Samples {
+			if s.Series == nil || len(s.Series.Points) == 0 {
+				continue
+			}
+			hasSeries = true
+			times := make([]float64, len(s.Series.Points))
+			powers := make([]float64, len(s.Series.Points))
+			var sum float64
+			for i, pt := range s.Series.Points {
+				times[i] = pt.TS
+				powers[i] = pt.PowerW
+				sum += pt.PowerW
+			}
+			doc.Reports = append(doc.Reports, phaseReport{
+				Key:        harness.ResultKey(r),
+				Spec:       r.Spec,
+				SpecB:      r.SpecB,
+				Threads:    r.Threads,
+				Placement:  string(r.Placement),
+				Rep:        rep,
+				IntervalS:  s.Series.IntervalS,
+				Points:     len(times),
+				MeanPowerW: sum / float64(len(powers)),
+				Phases:     model.SegmentPhases(times, powers, model.PhaseConfig{}),
+				Throttles:  model.DetectThrottles(times, powers, model.ThrottleConfig{}),
+			})
+		}
+		if !hasSeries {
+			doc.SkippedNoSeries++
+		}
+	}
+	if len(doc.Reports) == 0 {
+		return fmt.Errorf("no stored results carry a time-resolved series (run a sweep with --sample-interval to record them)")
+	}
+	if doc.SkippedNoSeries > 0 {
+		fmt.Fprintf(stderr, "analyze: skipped %d stored results without series\n", doc.SkippedNoSeries)
+	}
+	return writeJSON(stdout, doc)
 }
 
 func cmdCompare(args []string, stdout, stderr io.Writer) error {

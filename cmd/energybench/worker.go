@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"energybench/internal/bench"
@@ -25,7 +27,7 @@ const workerEnvMarker = "ENERGYBENCH_WORKER"
 // `worker-trial` child for every trial, forwarding the meter configuration
 // as child flags so the parent never has to construct the meter itself
 // (RAPL sysfs access stays confined to the measuring process).
-func newSubprocessExecutor(meterName string, mockWatts float64, timeout time.Duration) (*harness.Subprocess, error) {
+func newSubprocessExecutor(meterName string, mockWatts float64, mockSchedule string, timeout time.Duration) (*harness.Subprocess, error) {
 	self, err := os.Executable()
 	if err != nil {
 		return nil, fmt.Errorf("locating own binary for worker re-exec: %w", err)
@@ -33,6 +35,9 @@ func newSubprocessExecutor(meterName string, mockWatts float64, timeout time.Dur
 	args := []string{"worker-trial", "--meter=" + meterName}
 	if meterName == "mock" {
 		args = append(args, fmt.Sprintf("--mock-watts=%g", mockWatts))
+		if mockSchedule != "" {
+			args = append(args, "--mock-schedule="+mockSchedule)
+		}
 	}
 	return &harness.Subprocess{
 		Binary:  self,
@@ -52,13 +57,14 @@ func cmdWorkerTrial(ctx context.Context, args []string, stdin io.Reader, stdout,
 	fs := flag.NewFlagSet("worker-trial", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		meterName = fs.String("meter", "mock", "energy backend: mock|rapl")
-		mockWatts = fs.Float64("mock-watts", 42, "constant power modeled by the mock meter")
+		meterName    = fs.String("meter", "mock", "energy backend: mock|rapl")
+		mockWatts    = fs.Float64("mock-watts", 42, "constant power modeled by the mock meter")
+		mockSchedule = fs.String("mock-schedule", "", "piecewise-constant mock power schedule 'atS:watts,...'")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := runWorkerTrial(ctx, *meterName, *mockWatts, stdin)
+	res, err := runWorkerTrial(ctx, *meterName, *mockWatts, *mockSchedule, stdin)
 	env := harness.WorkerEnvelope{V: harness.WorkerProtocolVersion}
 	if err != nil {
 		env.Error = err.Error()
@@ -74,7 +80,7 @@ func cmdWorkerTrial(ctx context.Context, args []string, stdin io.Reader, stdout,
 	return nil
 }
 
-func runWorkerTrial(ctx context.Context, meterName string, mockWatts float64, stdin io.Reader) (harness.Result, error) {
+func runWorkerTrial(ctx context.Context, meterName string, mockWatts float64, mockSchedule string, stdin io.Reader) (harness.Result, error) {
 	var t harness.Trial
 	if err := json.NewDecoder(stdin).Decode(&t); err != nil {
 		return harness.Result{}, fmt.Errorf("decoding trial from stdin: %w", err)
@@ -89,7 +95,7 @@ func runWorkerTrial(ctx context.Context, meterName string, mockWatts float64, st
 			return harness.Result{}, err
 		}
 	}
-	m, err := newMeter(meterName, mockWatts)
+	m, err := newMeter(meterName, mockWatts, mockSchedule)
 	if err != nil {
 		return harness.Result{}, err
 	}
@@ -100,10 +106,19 @@ func runWorkerTrial(ctx context.Context, meterName string, mockWatts float64, st
 // newMeter constructs the energy backend. It is the single construction
 // path shared by the in-process sweep and the worker child, so a new
 // backend only needs wiring here.
-func newMeter(name string, mockWatts float64) (meter.EnergyMeter, error) {
+func newMeter(name string, mockWatts float64, mockSchedule string) (meter.EnergyMeter, error) {
+	if mockSchedule != "" && name != "mock" {
+		return nil, fmt.Errorf("--mock-schedule requires --meter=mock, got meter %q", name)
+	}
 	switch name {
 	case "mock":
-		return meter.NewMock(mockWatts), nil
+		m := meter.NewMock(mockWatts)
+		steps, err := parseMockSchedule(mockSchedule)
+		if err != nil {
+			return nil, err
+		}
+		m.Steps = steps
+		return m, nil
 	case "rapl":
 		return meter.NewRAPL(meter.DefaultPowercapRoot)
 	default:
@@ -112,6 +127,38 @@ func newMeter(name string, mockWatts float64) (meter.EnergyMeter, error) {
 		}
 		return nil, fmt.Errorf("meter %q is known but has no constructor wired here", name)
 	}
+}
+
+// parseMockSchedule decodes the 'atS:watts,...' flag syntax into mock meter
+// schedule steps, requiring strictly increasing offsets so the piecewise
+// integral is well defined.
+func parseMockSchedule(s string) ([]meter.MockStep, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var steps []meter.MockStep
+	for _, part := range strings.Split(s, ",") {
+		atStr, wattsStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("--mock-schedule: step %q is not of the form atS:watts", part)
+		}
+		at, err := strconv.ParseFloat(atStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("--mock-schedule: bad offset in %q: %w", part, err)
+		}
+		watts, err := strconv.ParseFloat(wattsStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("--mock-schedule: bad watts in %q: %w", part, err)
+		}
+		if at < 0 || watts < 0 {
+			return nil, fmt.Errorf("--mock-schedule: step %q must have non-negative offset and watts", part)
+		}
+		if len(steps) > 0 && at <= steps[len(steps)-1].AtS {
+			return nil, fmt.Errorf("--mock-schedule: offsets must be strictly increasing, got %g after %g", at, steps[len(steps)-1].AtS)
+		}
+		steps = append(steps, meter.MockStep{AtS: at, Watts: watts})
+	}
+	return steps, nil
 }
 
 // graftKernel restores what a serialized spec cannot carry: the kernel

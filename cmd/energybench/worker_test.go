@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"encoding/json"
 	"math"
@@ -364,5 +365,45 @@ func TestWorkerTrialMinimalSpecGraftsCatalogParams(t *testing.T) {
 	}
 	if env.Result.Component != "dram" {
 		t.Errorf("component = %q, want dram grafted from the catalog", env.Result.Component)
+	}
+}
+
+// TestWorkerTrialSampleSeriesRoundTrip: a trial carrying a sample interval
+// must come back through the worker envelope with per-rep time-resolved
+// series intact — the subprocess executor transports them unchanged.
+func TestWorkerTrialSampleSeriesRoundTrip(t *testing.T) {
+	trialJSON := `{"seq":0,"spec":{"name":"int-alu","component":"int-alu","iters":400000,"unroll":8},
+		"threads":1,"placement":"none","iters":400000,"warmup":0,"min_reps":2,"max_reps":2,
+		"sample_interval_ns":5000000}`
+	var stdout, stderr bytes.Buffer
+	err := cmdWorkerTrial(context.Background(), []string{"--meter=mock", "--mock-watts=30", "--mock-schedule=0.02:10"},
+		strings.NewReader(trialJSON), &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("worker-trial failed: %v\nstderr: %s", err, stderr.String())
+	}
+	var env harness.WorkerEnvelope
+	if err := json.Unmarshal(stdout.Bytes(), &env); err != nil {
+		t.Fatalf("envelope is not valid JSON: %v", err)
+	}
+	if env.Error != "" || env.Result == nil {
+		t.Fatalf("envelope = %+v, want a result", env)
+	}
+	res := env.Result
+	if res.SampleInterval != 5*time.Millisecond {
+		t.Errorf("SampleInterval = %v, want 5ms", res.SampleInterval)
+	}
+	if len(res.Samples) != 2 {
+		t.Fatalf("%d samples, want 2", len(res.Samples))
+	}
+	for i, s := range res.Samples {
+		if s.Series == nil {
+			t.Fatalf("sample %d lost its series crossing the envelope", i)
+		}
+		if s.Series.IntervalS != 0.005 {
+			t.Errorf("sample %d IntervalS = %v, want 0.005", i, s.Series.IntervalS)
+		}
+		if len(s.Series.Points) < 1 {
+			t.Errorf("sample %d series is empty", i)
+		}
 	}
 }

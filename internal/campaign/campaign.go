@@ -47,6 +47,12 @@ type Campaign struct {
 	// TrialTimeout is a Go duration ("90s", "2m") bounding one trial's wall
 	// clock under the subprocess executor; empty means no limit.
 	TrialTimeout string `json:"trial_timeout,omitempty"`
+	// SampleInterval is a Go duration ("10ms") switching on in-trial
+	// time-resolved sampling for every space: the energy meter (and any
+	// counter sessions) is polled on this period during each measured
+	// repetition and a per-rep series rides on every sample. Empty disables
+	// sampling.
+	SampleInterval string `json:"sample_interval,omitempty"`
 	// Store is the result store path, flushed per configuration: a single
 	// JSONL file for .jsonl/.json paths, a sharded segment directory
 	// otherwise.
@@ -222,6 +228,9 @@ func (c *Campaign) Validate() error {
 	if c.Resume && c.Store == "" {
 		return fmt.Errorf("campaign: resume requires a store")
 	}
+	if _, err := c.Sampling(); err != nil {
+		return err
+	}
 	if _, err := c.CounterSpec(); err != nil {
 		return err
 	}
@@ -265,6 +274,21 @@ func (c *Campaign) Timeout() (time.Duration, error) {
 	}
 	if d <= 0 {
 		return 0, fmt.Errorf("campaign: trial_timeout must be positive, got %v", d)
+	}
+	return d, nil
+}
+
+// Sampling parses the sample_interval field; zero when unset.
+func (c *Campaign) Sampling() (time.Duration, error) {
+	if c.SampleInterval == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(c.SampleInterval)
+	if err != nil {
+		return 0, fmt.Errorf("campaign: bad sample_interval %q: %w", c.SampleInterval, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("campaign: sample_interval must be positive, got %v", d)
 	}
 	return d, nil
 }
@@ -382,6 +406,10 @@ func (c *Campaign) Plan() ([]harness.Trial, error) {
 	if err != nil {
 		return nil, err
 	}
+	sampleEvery, err := c.Sampling()
+	if err != nil {
+		return nil, err
+	}
 	var all []harness.Trial
 	for i := range c.Spaces {
 		space, err := c.Spaces[i].Space()
@@ -389,6 +417,7 @@ func (c *Campaign) Plan() ([]harness.Trial, error) {
 			return nil, fmt.Errorf("campaign: space %s: %w", c.Spaces[i].label(i), err)
 		}
 		space.Counters = counters
+		space.SampleInterval = sampleEvery
 		trials, err := harness.Plan(space)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: space %s: %w", c.Spaces[i].label(i), err)

@@ -273,3 +273,55 @@ func TestCampaignCountersRejected(t *testing.T) {
 		}
 	}
 }
+
+// TestCampaignSampleInterval: the sample_interval key must parse as a Go
+// duration and stamp every planned trial, and bad values must fail the load.
+func TestCampaignSampleInterval(t *testing.T) {
+	src := `{
+  "name": "sampled",
+  "sample_interval": "10ms",
+  "spaces": [
+    {"specs": ["int-alu"], "threads": [1], "reps": 1},
+    {"specs": ["fp-mac"], "threads": [1], "reps": 1}
+  ]
+}`
+	c, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Sampling()
+	if err != nil || d != 10*time.Millisecond {
+		t.Fatalf("Sampling() = %v, %v; want 10ms", d, err)
+	}
+	trials, err := c.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 2 {
+		t.Fatalf("planned %d trials, want 2", len(trials))
+	}
+	for i, tr := range trials {
+		if tr.SampleInterval != 10*time.Millisecond {
+			t.Errorf("trial %d SampleInterval = %v, want 10ms", i, tr.SampleInterval)
+		}
+	}
+
+	for _, bad := range []string{
+		`{"sample_interval": "banana", "spaces": [{"specs": ["int-alu"]}]}`,
+		`{"sample_interval": "-5ms", "spaces": [{"specs": ["int-alu"]}]}`,
+		`{"sample_interval": "0s", "spaces": [{"specs": ["int-alu"]}]}`,
+	} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Errorf("Parse(%s) accepted a bad sample_interval", bad)
+		}
+	}
+
+	// Omitted → sampling off.
+	c2, err := Parse([]byte(`{"spaces": [{"specs": ["int-alu"]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := c2.Sampling(); err != nil || d != 0 {
+		t.Errorf("Sampling() on omitted key = %v, %v; want 0", d, err)
+	}
+}

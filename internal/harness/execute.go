@@ -84,6 +84,8 @@ func (e *InProcess) Execute(ctx context.Context, t Trial) (Result, error) {
 		Iters:     t.Iters,
 		Placement: t.Placement,
 		Meter:     e.Meter.Name(),
+
+		SampleInterval: t.SampleInterval,
 	}
 	for _, d := range e.Meter.Domains() {
 		res.Domains = append(res.Domains, d.Name)
@@ -132,7 +134,7 @@ func (e *InProcess) Execute(ctx context.Context, t Trial) (Result, error) {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
-		sample, counts, err := e.runOnce(units, cpus, t.SpecB != nil, activity)
+		sample, counts, err := e.runOnce(t, units, cpus, activity)
 		if err != nil {
 			return res, err
 		}
@@ -186,12 +188,16 @@ func (e *InProcess) Execute(ctx context.Context, t Trial) (Result, error) {
 
 // runOnce executes one repetition: all threads start together behind a
 // barrier, the meter is read immediately around the parallel section, and
-// the sample is energy delta over wall time of the slowest thread. Each
-// thread's own wall time is recorded so co-runs can report per-spec times.
-// With an activity meter, every worker thread opens its own counter group
-// (on its pinned CPU, when pinned) and counts exactly the measured region;
-// the per-thread counts come back parallel to units.
-func (e *InProcess) runOnce(units []workUnit, cpus []int, corun bool, activity perf.ActivityMeter) (Sample, []perf.Counts, error) {
+// the sample's energy is the meter delta across it. Each thread's own wall
+// time is recorded so co-runs can report per-spec times. With an activity
+// meter, every worker thread opens its own counter group (on its pinned CPU,
+// when pinned) and counts exactly the measured region; the per-thread counts
+// come back parallel to units. A positive trial SampleInterval additionally
+// runs a meter.Sampler across the measured region, polling the meter (and
+// the worker counter sessions) on a ticker and attaching the resulting
+// series to the sample.
+func (e *InProcess) runOnce(trial Trial, units []workUnit, cpus []int, activity perf.ActivityMeter) (Sample, []perf.Counts, error) {
+	corun := trial.SpecB != nil
 	threads := len(units)
 	start := make(chan struct{})
 	abort := make(chan struct{})
@@ -207,8 +213,13 @@ func (e *InProcess) runOnce(units []workUnit, cpus []int, corun bool, activity p
 	var t0 time.Time
 	elapsedPer := make([]float64, threads)
 	var countsPer []perf.Counts
+	// sessPer exposes each worker's counter session to the sampling
+	// goroutine. Slots are written before ready.Done(), so ready.Wait()
+	// orders them before the sampler starts polling.
+	var sessPer []perf.Session
 	if activity != nil {
 		countsPer = make([]perf.Counts, threads)
+		sessPer = make([]perf.Session, threads)
 	}
 	pin := e.pinFunc()
 
@@ -243,6 +254,7 @@ func (e *InProcess) runOnce(units []workUnit, cpus []int, corun bool, activity p
 					ctrErr.Store(errBox{err})
 				} else {
 					sess = s
+					sessPer[t] = s
 					defer sess.Close()
 				}
 			}
@@ -283,10 +295,29 @@ func (e *InProcess) runOnce(units []workUnit, cpus []int, corun bool, activity p
 		done.Wait()
 		return Sample{}, nil, err
 	}
+	// The sampler anchors on the before reading, so its first interval and
+	// the trial's energy delta share a start point. It must start before the
+	// workers are released and stop before the closing read, keeping every
+	// series point inside the meter window.
+	var sampling *meter.Sampling
+	if trial.SampleInterval > 0 {
+		smp := &meter.Sampler{Meter: e.Meter, Interval: trial.SampleInterval}
+		if activity != nil {
+			smp.Events = activity.Events()
+			smp.Counts = pollSessions(sessPer, len(activity.Events()))
+		}
+		sampling = smp.Start(before)
+	}
 	t0 = time.Now()
 	close(start)
 	done.Wait()
 	elapsed := time.Since(t0).Seconds()
+	var series *meter.Series
+	var sampleErr error
+	if sampling != nil {
+		ser, err := sampling.Stop()
+		series, sampleErr = &ser, err
+	}
 	after, readErr := e.Meter.Read()
 	atomic.AddUint64(&bench.Sink, sink)
 	// A pin failure invalidates the placement and must not be masked by a
@@ -303,6 +334,9 @@ func (e *InProcess) runOnce(units []workUnit, cpus []int, corun bool, activity p
 	if readErr != nil {
 		errs = append(errs, readErr)
 	}
+	if sampleErr != nil {
+		errs = append(errs, sampleErr)
+	}
 	if len(errs) > 0 {
 		return Sample{}, nil, errors.Join(errs...)
 	}
@@ -314,8 +348,18 @@ func (e *InProcess) runOnce(units []workUnit, cpus []int, corun bool, activity p
 	for _, j := range domainJ {
 		energy += j
 	}
-	s := Sample{EnergyJ: energy, TimeS: elapsed, DomainJ: domainJ}
-	if elapsed > 0 {
+	s := Sample{EnergyJ: energy, TimeS: elapsed, DomainJ: domainJ, Series: series}
+	// The energy delta spans the meter's own before→after window, which
+	// includes the reads' latency on both ends; the thread wall clock starts
+	// after the first read returns and stops before the second begins.
+	// Dividing by the meter window matches numerator and denominator;
+	// dividing by the (shorter) thread window would overestimate power on
+	// every sample. Meters that do not timestamp readings leave the window
+	// at zero; fall back to the thread clock for those.
+	if w := after.At.Sub(before.At).Seconds(); w > 0 {
+		s.MeterTimeS = w
+		s.PowerW = energy / w
+	} else if elapsed > 0 {
 		s.PowerW = energy / elapsed
 	}
 	if corun {
@@ -328,4 +372,31 @@ func (e *InProcess) runOnce(units []workUnit, cpus []int, corun bool, activity p
 		}
 	}
 	return s, countsPer, nil
+}
+
+// pollSessions builds the sampler's cumulative-counts source: each poll sums
+// the scaled per-event counts across every worker session that supports
+// non-destructive reads (perf.Poller). Sessions that failed to open, or
+// backends without Poll, simply contribute nothing — counter sampling
+// degrades instead of failing the trial.
+func pollSessions(sessions []perf.Session, events int) func() ([]float64, error) {
+	return func() ([]float64, error) {
+		out := make([]float64, events)
+		for _, s := range sessions {
+			p, ok := s.(perf.Poller)
+			if !ok {
+				continue
+			}
+			c, err := p.Poll()
+			if err != nil {
+				return nil, err
+			}
+			for i, v := range c.Values {
+				if i < len(out) {
+					out[i] += v.Scaled
+				}
+			}
+		}
+		return out, nil
+	}
 }

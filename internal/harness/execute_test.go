@@ -3,8 +3,10 @@ package harness
 import (
 	"context"
 	"testing"
+	"time"
 
 	"energybench/internal/meter"
+	"energybench/internal/perf"
 )
 
 // scriptedMeter returns counter values from a caller-provided function of
@@ -127,5 +129,169 @@ func TestFixedRepsUnchanged(t *testing.T) {
 	}
 	if results[0].Converged {
 		t.Error("fixed-rep run marked converged despite no early stop")
+	}
+}
+
+// latencyMeter models a meter whose reads cost a fixed latency: its internal
+// clock advances by latency on every Read and energy accrues at powerW on
+// that clock. Thread wall time never advances this clock, so every
+// repetition's meter window is exactly one read latency and its energy delta
+// exactly powerW × latency.
+type latencyMeter struct {
+	powerW  float64
+	latency time.Duration
+	clock   time.Time
+	epoch   time.Time
+}
+
+func newLatencyMeter(powerW float64, latency time.Duration) *latencyMeter {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	return &latencyMeter{powerW: powerW, latency: latency, clock: base, epoch: base}
+}
+
+func (m *latencyMeter) Name() string            { return "latency" }
+func (m *latencyMeter) Domains() []meter.Domain { return []meter.Domain{{Name: "lat-0"}} }
+func (m *latencyMeter) Read() (meter.Reading, error) {
+	m.clock = m.clock.Add(m.latency)
+	elapsed := m.clock.Sub(m.epoch).Seconds()
+	return meter.Reading{At: m.clock, Counters: []uint64{uint64(elapsed * m.powerW * 1e6)}}, nil
+}
+
+// TestPowerUsesMeterWindow is the power-window regression test: the energy
+// delta is measured over the meter's before→after window, so PowerW must be
+// energy over that same window. With a 50 ms read latency the meter window
+// is 50 ms while the threads' wall clock (measured between the reads) is
+// microseconds; dividing by the thread clock — the old computation — reports
+// thousands of watts for a 40 W meter.
+func TestPowerUsesMeterWindow(t *testing.T) {
+	const watts = 40.0
+	m := newLatencyMeter(watts, 50*time.Millisecond)
+	r := &Runner{Meter: m}
+	space := tinySpace(t)
+	space.Specs = space.Specs[:1]
+	space.ThreadCounts = []int{1}
+	results, err := r.Run(context.Background(), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results[0]
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	for i, s := range res.Samples {
+		if diff := s.MeterTimeS - 0.05; diff < -1e-9 || diff > 1e-9 {
+			t.Errorf("sample %d MeterTimeS = %v, want the meter's own 0.05 s window", i, s.MeterTimeS)
+		}
+		if s.TimeS <= 0 {
+			t.Errorf("sample %d TimeS = %v, want positive thread wall time", i, s.TimeS)
+		}
+		if diff := s.PowerW - watts; diff < -watts*0.01 || diff > watts*0.01 {
+			t.Errorf("sample %d PowerW = %v W, want %v W: power must divide the meter-window energy by the meter window, not the thread wall time",
+				i, s.PowerW, watts)
+		}
+	}
+}
+
+// TestScriptedMeterPowerFallsBackToThreadClock: meters that do not timestamp
+// readings (zero Reading.At) have no meter window; power falls back to the
+// thread wall clock instead of reporting zero.
+func TestScriptedMeterPowerFallsBackToThreadClock(t *testing.T) {
+	m := &scriptedMeter{counter: constantDeltaCounter(1_000_000)} // 1 J per rep
+	r := &Runner{Meter: m}
+	space := tinySpace(t)
+	space.Specs = space.Specs[:1]
+	space.ThreadCounts = []int{1}
+	results, err := r.Run(context.Background(), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range results[0].Samples {
+		if s.MeterTimeS != 0 {
+			t.Errorf("sample %d MeterTimeS = %v, want 0 for an At-less meter", i, s.MeterTimeS)
+		}
+		if s.PowerW <= 0 {
+			t.Errorf("sample %d PowerW = %v, want positive fallback power", i, s.PowerW)
+		}
+	}
+}
+
+func TestSamplingAttachesSeries(t *testing.T) {
+	m := meter.NewMock(42)
+	space := tinySpace(t)
+	space.Specs = space.Specs[:1]
+	space.ThreadCounts = []int{1}
+	space.SampleInterval = time.Millisecond
+	r := &Runner{Meter: m}
+	results, err := r.Run(context.Background(), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results[0]
+	if res.SampleInterval != time.Millisecond {
+		t.Errorf("SampleInterval = %v, want 1ms", res.SampleInterval)
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	for i, s := range res.Samples {
+		if s.Series == nil {
+			t.Fatalf("sample %d has no series", i)
+		}
+		if s.Series.IntervalS != 0.001 {
+			t.Errorf("sample %d IntervalS = %v, want 0.001", i, s.Series.IntervalS)
+		}
+		if s.Series.StartAt.IsZero() {
+			t.Errorf("sample %d series StartAt is zero", i)
+		}
+		// The final flush guarantees at least one point per repetition no
+		// matter how short the kernel runs.
+		if len(s.Series.Points) < 1 {
+			t.Errorf("sample %d series has no points", i)
+		}
+		for j, pt := range s.Series.Points {
+			if pt.TS <= 0 {
+				t.Errorf("sample %d point %d TS = %v, want positive offset", i, j, pt.TS)
+			}
+			if len(pt.DomainUJ) != 1 {
+				t.Errorf("sample %d point %d DomainUJ = %v, want one domain", i, j, pt.DomainUJ)
+			}
+		}
+	}
+}
+
+func TestSamplingWithCountersCollectsEventSeries(t *testing.T) {
+	m := meter.NewMock(42)
+	space := tinySpace(t)
+	space.Specs = space.Specs[:1]
+	space.ThreadCounts = []int{2}
+	space.SampleInterval = time.Millisecond
+	space.Counters = &perf.Spec{Backend: perf.BackendMock}
+	r := &Runner{Meter: m}
+	results, err := r.Run(context.Background(), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results[0]
+	events := perf.DefaultEvents()
+	if res.Counters == nil {
+		t.Fatal("no aggregated counters")
+	}
+	for i, s := range res.Samples {
+		if s.Series == nil {
+			t.Fatalf("sample %d has no series", i)
+		}
+		if len(s.Series.Events) != len(events) {
+			t.Fatalf("sample %d series events = %v, want %v", i, s.Series.Events, events)
+		}
+		for j, pt := range s.Series.Points {
+			if len(pt.Counts) != len(events) {
+				t.Errorf("sample %d point %d has %d counts, want %d", i, j, len(pt.Counts), len(events))
+			}
+			for k, c := range pt.Counts {
+				if c < 0 {
+					t.Errorf("sample %d point %d count %s = %v, want non-negative", i, j, events[k], c)
+				}
+			}
+		}
 	}
 }

@@ -11,6 +11,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"energybench/internal/bench"
 	"energybench/internal/meter"
@@ -54,6 +55,11 @@ type Space struct {
 	// around the measured region and the scaled counts ride on the result
 	// (internal/perf).
 	Counters *perf.Spec
+	// SampleInterval, when positive, polls the energy meter (and, with
+	// Counters set, the worker perf sessions) on this period during every
+	// measured repetition, attaching a time-resolved Series to each sample.
+	// 0 disables in-trial sampling.
+	SampleInterval time.Duration
 }
 
 // repBounds resolves the Reps/MinReps/MaxReps shorthand into the effective
@@ -117,6 +123,9 @@ func (s Space) Validate() error {
 			return fmt.Errorf("harness: %w", err)
 		}
 	}
+	if s.SampleInterval < 0 {
+		return fmt.Errorf("harness: sample interval must be non-negative, got %v", s.SampleInterval)
+	}
 	return nil
 }
 
@@ -124,13 +133,24 @@ func (s Space) Validate() error {
 // TimeAS/TimeBS are the wall times of the slowest thread of each spec, so
 // per-spec slowdowns can be computed against solo baselines; DomainJ breaks
 // EnergyJ down per meter domain in Result.Domains order.
+//
+// Two windows are recorded per repetition: TimeS is the wall time of the
+// slowest worker thread (the throughput clock), MeterTimeS is the meter's
+// own before→after read window (the energy clock). PowerW divides EnergyJ by
+// the meter window, since that is the span the energy delta was measured
+// over; dividing by the shorter thread window would systematically inflate
+// power by the meter's read latency.
 type Sample struct {
-	EnergyJ float64   `json:"energy_j"`
-	TimeS   float64   `json:"time_s"`
-	PowerW  float64   `json:"power_w"`
-	TimeAS  float64   `json:"time_a_s,omitempty"`
-	TimeBS  float64   `json:"time_b_s,omitempty"`
-	DomainJ []float64 `json:"domain_j,omitempty"`
+	EnergyJ    float64   `json:"energy_j"`
+	TimeS      float64   `json:"time_s"`
+	MeterTimeS float64   `json:"meter_time_s,omitempty"`
+	PowerW     float64   `json:"power_w"`
+	TimeAS     float64   `json:"time_a_s,omitempty"`
+	TimeBS     float64   `json:"time_b_s,omitempty"`
+	DomainJ    []float64 `json:"domain_j,omitempty"`
+	// Series is the repetition's time-resolved samples; set when the trial
+	// ran with a positive SampleInterval. Store schema v3.
+	Series *meter.Series `json:"series,omitempty"`
 }
 
 // Result aggregates all repetitions of one configuration: a solo
@@ -167,6 +187,10 @@ type Result struct {
 	// counts, aggregated over measured repetitions); set when the trial
 	// carried a counter spec. Store schema v2.
 	Counters *Counters `json:"counters,omitempty"`
+	// SampleInterval is the in-trial sampling period the trial ran with;
+	// 0 when sampling was off. The per-rep series live on the samples.
+	// Store schema v3.
+	SampleInterval time.Duration `json:"sample_interval_ns,omitempty"`
 }
 
 // IsCoRun reports whether the result measured two specs sharing the machine.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"energybench/internal/bench"
 	"energybench/internal/perf"
@@ -52,6 +53,11 @@ type Trial struct {
 	// normalized spec (explicit backend + event list), so a serialized
 	// trial reproduces the same counter configuration in a worker child.
 	Counters *perf.Spec `json:"counters,omitempty"`
+	// SampleInterval, when positive, makes the executor poll the energy
+	// meter (and any counter sessions) on this period during each measured
+	// repetition, recording a time-resolved series per sample. It serializes
+	// with the trial, so subprocess workers sample identically.
+	SampleInterval time.Duration `json:"sample_interval_ns,omitempty"`
 }
 
 // Name labels the trial for logs and errors: "specA" or "specA+specB".
@@ -181,6 +187,8 @@ func Plan(space Space) ([]Trial, error) {
 			CVTarget:  space.CVTarget,
 			MaxCV:     space.MaxCV,
 			Counters:  counters,
+
+			SampleInterval: space.SampleInterval,
 		}
 		if specB != nil {
 			t.ItersB = scaleIters(specB.Iters, space.IterScale)

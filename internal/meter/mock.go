@@ -5,14 +5,24 @@ import (
 	"time"
 )
 
+// MockStep is one boundary of a piecewise-constant mock power schedule: from
+// AtS seconds after the meter's epoch onward, the meter draws Watts.
+type MockStep struct {
+	AtS   float64
+	Watts float64
+}
+
 // Mock is a deterministic EnergyMeter for tests and CI machines without RAPL
 // access. It models a single domain drawing a constant PowerWatts, so energy
-// is exactly power × elapsed time. The clock is injectable for fully
+// is exactly power × elapsed time. An optional Steps schedule switches the
+// draw at fixed offsets from the epoch, planting multi-phase workloads for
+// time-resolved sampling tests. The clock is injectable for fully
 // deterministic tests, and MaxRangeMicroJ can be set low to exercise the
 // wraparound path in Delta.
 type Mock struct {
 	PowerWatts     float64
 	MaxRangeMicroJ uint64
+	Steps          []MockStep // sorted by AtS; before Steps[0].AtS the draw is PowerWatts
 
 	mu    sync.Mutex
 	now   func() time.Time
@@ -48,9 +58,30 @@ func (m *Mock) Read() (Reading, error) {
 		m.epoch = t
 	}
 	elapsed := t.Sub(m.epoch).Seconds()
-	microJ := uint64(elapsed * m.PowerWatts * 1e6)
+	microJ := uint64(m.energyJoules(elapsed) * 1e6)
 	if m.MaxRangeMicroJ > 0 {
 		microJ %= m.MaxRangeMicroJ
 	}
 	return Reading{At: t, Counters: []uint64{microJ}}, nil
+}
+
+// energyJoules integrates the (piecewise-constant) power draw over the first
+// elapsed seconds since the epoch.
+func (m *Mock) energyJoules(elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	var joules float64
+	prevT, watts := 0.0, m.PowerWatts
+	for _, st := range m.Steps {
+		if elapsed <= st.AtS {
+			break
+		}
+		if st.AtS > prevT {
+			joules += watts * (st.AtS - prevT)
+			prevT = st.AtS
+		}
+		watts = st.Watts
+	}
+	return joules + watts*(elapsed-prevT)
 }

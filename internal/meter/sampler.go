@@ -1,0 +1,168 @@
+package meter
+
+import (
+	"time"
+)
+
+// SeriesPoint is one tick of an in-trial sampling series. TS is the point's
+// offset in seconds from the series anchor (the trial's before-read
+// timestamp); DomainUJ holds the wrap-unwrapped microjoule delta per meter
+// domain since the previous point; PowerW is the summed delta divided by the
+// inter-reading window. Counts, when counter sampling is enabled, holds the
+// per-event deltas of the trial's perf sessions over the same window.
+type SeriesPoint struct {
+	TS       float64   `json:"t_s"`
+	DomainUJ []uint64  `json:"domain_uj"`
+	PowerW   float64   `json:"power_w"`
+	Counts   []float64 `json:"counts,omitempty"`
+}
+
+// Series is one repetition's time-resolved samples. StartAt anchors the
+// relative TS offsets to wall-clock time; IntervalS is the requested ticker
+// period (actual point spacing comes from the meter's own Reading.At stamps,
+// so scheduling jitter never skews per-point power).
+type Series struct {
+	StartAt   time.Time     `json:"start_at"`
+	IntervalS float64       `json:"interval_s"`
+	Events    []string      `json:"events,omitempty"`
+	Points    []SeriesPoint `json:"points"`
+}
+
+// Sampler polls an EnergyMeter (and, optionally, a cumulative counter source)
+// on a ticker, producing a Series of per-interval deltas. Counts, when set,
+// must return cumulative per-event values that are monotonic within the
+// sampled region; the sampler emits deltas between consecutive polls and
+// clamps negatives (e.g. a session reset racing the first tick) to zero.
+type Sampler struct {
+	Meter    EnergyMeter
+	Interval time.Duration
+	Counts   func() ([]float64, error)
+	Events   []string
+
+	// tick overrides the ticker channel in tests so each point is driven
+	// explicitly instead of by wall-clock time.
+	tick <-chan time.Time
+}
+
+// Sampling is one in-flight sampling run started by Sampler.Start.
+type Sampling struct {
+	sampler *Sampler
+	stop    chan struct{}
+	done    chan struct{}
+
+	// Owned by the sampling goroutine until done is closed.
+	series Series
+	err    error
+}
+
+// Start begins sampling anchored at a reading the caller has already taken
+// (the trial's before-read), so the first interval needs no extra meter
+// round-trip. Sampling runs until Stop.
+func (s *Sampler) Start(anchor Reading) *Sampling {
+	sp := &Sampling{
+		sampler: s,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		series: Series{
+			StartAt:   anchor.At,
+			IntervalS: s.Interval.Seconds(),
+			Events:    s.Events,
+		},
+	}
+	go sp.run(anchor)
+	return sp
+}
+
+// Stop ends the sampling run, flushes one final point covering the partial
+// interval since the last tick, and returns the collected series. The first
+// meter or counter error encountered aborts collection and is returned here;
+// the points gathered before it remain valid. Stop must be called exactly
+// once.
+func (sp *Sampling) Stop() (Series, error) {
+	close(sp.stop)
+	<-sp.done
+	return sp.series, sp.err
+}
+
+func (sp *Sampling) run(anchor Reading) {
+	defer close(sp.done)
+	tick := sp.sampler.tick
+	if tick == nil {
+		ticker := time.NewTicker(sp.sampler.Interval)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	prev := anchor
+	prevCounts, err := sp.pollCounts()
+	if err != nil {
+		sp.err = err
+		return
+	}
+	for {
+		select {
+		case <-sp.stop:
+			// Final flush: close the last partial interval so the series
+			// covers the whole measured window.
+			sp.point(&prev, &prevCounts)
+			return
+		case <-tick:
+			if sp.point(&prev, &prevCounts); sp.err != nil {
+				return
+			}
+		}
+	}
+}
+
+// point reads the meter (and counters) once and appends the delta versus
+// *prev as a new series point, advancing prev. Readings that do not advance
+// the meter clock are skipped: a zero or negative window has no defined
+// power.
+func (sp *Sampling) point(prev *Reading, prevCounts *[]float64) {
+	m := sp.sampler.Meter
+	cur, err := m.Read()
+	if err != nil {
+		sp.err = err
+		return
+	}
+	counts, err := sp.pollCounts()
+	if err != nil {
+		sp.err = err
+		return
+	}
+	dt := cur.At.Sub(prev.At).Seconds()
+	if dt <= 0 {
+		return
+	}
+	deltas, err := deltaMicroJ(m.Name(), m.Domains(), *prev, cur)
+	if err != nil {
+		sp.err = err
+		return
+	}
+	var sumUJ uint64
+	for _, d := range deltas {
+		sumUJ += d
+	}
+	pt := SeriesPoint{
+		TS:       cur.At.Sub(sp.series.StartAt).Seconds(),
+		DomainUJ: deltas,
+		PowerW:   float64(sumUJ) / 1e6 / dt,
+	}
+	if counts != nil && len(counts) == len(*prevCounts) {
+		pt.Counts = make([]float64, len(counts))
+		for i := range counts {
+			if d := counts[i] - (*prevCounts)[i]; d > 0 {
+				pt.Counts[i] = d
+			}
+		}
+	}
+	sp.series.Points = append(sp.series.Points, pt)
+	*prev = cur
+	*prevCounts = counts
+}
+
+func (sp *Sampling) pollCounts() ([]float64, error) {
+	if sp.sampler.Counts == nil {
+		return nil, nil
+	}
+	return sp.sampler.Counts()
+}

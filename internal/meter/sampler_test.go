@@ -1,0 +1,403 @@
+package meter
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// queueClock hands out pre-programmed timestamps, one per call, repeating
+// the last forever. Unlike fakeClock it needs no advance() coordination with
+// the sampling goroutine: each Read simply pops the next planned time, so
+// tests stay deterministic without racing the sampler's internal reads.
+type queueClock struct {
+	mu    sync.Mutex
+	times []time.Time
+	last  time.Time
+}
+
+func newQueueClock(times ...time.Time) *queueClock {
+	return &queueClock{times: times, last: times[0]}
+}
+
+func (q *queueClock) now() time.Time {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.times) > 0 {
+		q.last = q.times[0]
+		q.times = q.times[1:]
+	}
+	return q.last
+}
+
+var seriesBase = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func atMS(ms int) time.Time { return seriesBase.Add(time.Duration(ms) * time.Millisecond) }
+
+func TestSamplerMockSeriesDeterministic(t *testing.T) {
+	// Reads pop: epoch, anchor, then one per tick. The final flush re-reads
+	// the exhausted queue (same time as the last tick) and must not add a
+	// zero-dt point.
+	clk := newQueueClock(atMS(0), atMS(0), atMS(10), atMS(20), atMS(30))
+	m := NewMockWithClock(50, 0, clk.now) // 50 W, no wrap
+
+	anchor, err := m.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := make(chan time.Time)
+	s := &Sampler{Meter: m, Interval: 10 * time.Millisecond, tick: tick}
+	sp := s.Start(anchor)
+	for i := 0; i < 3; i++ {
+		tick <- atMS(10 * (i + 1))
+	}
+	series, err := sp.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !series.StartAt.Equal(anchor.At) {
+		t.Errorf("StartAt = %v, want anchor %v", series.StartAt, anchor.At)
+	}
+	if series.IntervalS != 0.01 {
+		t.Errorf("IntervalS = %v, want 0.01", series.IntervalS)
+	}
+	if len(series.Points) != 3 {
+		t.Fatalf("got %d points, want 3: %+v", len(series.Points), series.Points)
+	}
+	for i, pt := range series.Points {
+		wantTS := 0.01 * float64(i+1)
+		if math.Abs(pt.TS-wantTS) > 1e-9 {
+			t.Errorf("point %d TS = %v, want %v", i, pt.TS, wantTS)
+		}
+		// 50 W × 10 ms = 0.5 J = 500_000 µJ per interval.
+		if len(pt.DomainUJ) != 1 || pt.DomainUJ[0] != 500_000 {
+			t.Errorf("point %d DomainUJ = %v, want [500000]", i, pt.DomainUJ)
+		}
+		if math.Abs(pt.PowerW-50) > 1e-6 {
+			t.Errorf("point %d PowerW = %v, want 50", i, pt.PowerW)
+		}
+	}
+}
+
+func TestSamplerFinalFlushCoversPartialInterval(t *testing.T) {
+	// One tick at 10 ms, then Stop at 14 ms: the final flush must close the
+	// 4 ms partial interval with a correct power value.
+	clk := newQueueClock(atMS(0), atMS(0), atMS(10), atMS(14))
+	m := NewMockWithClock(20, 0, clk.now)
+	anchor, _ := m.Read()
+	tick := make(chan time.Time)
+	s := &Sampler{Meter: m, Interval: 10 * time.Millisecond, tick: tick}
+	sp := s.Start(anchor)
+	tick <- atMS(10)
+	series, err := sp.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 2 {
+		t.Fatalf("got %d points, want 2 (tick + final flush): %+v", len(series.Points), series.Points)
+	}
+	last := series.Points[1]
+	if math.Abs(last.TS-0.014) > 1e-9 {
+		t.Errorf("final point TS = %v, want 0.014", last.TS)
+	}
+	if math.Abs(last.PowerW-20) > 1e-6 {
+		t.Errorf("final point PowerW = %v, want 20", last.PowerW)
+	}
+}
+
+func TestSamplerSeesMockSchedulePhases(t *testing.T) {
+	times := []time.Time{atMS(0), atMS(0)}
+	for i := 1; i <= 10; i++ {
+		times = append(times, atMS(10*i))
+	}
+	clk := newQueueClock(times...)
+	m := NewMockWithClock(42, 0, clk.now)
+	m.Steps = []MockStep{{AtS: 0.05, Watts: 20}}
+
+	anchor, _ := m.Read()
+	tick := make(chan time.Time)
+	s := &Sampler{Meter: m, Interval: 10 * time.Millisecond, tick: tick}
+	sp := s.Start(anchor)
+	for i := 1; i <= 10; i++ {
+		tick <- atMS(10 * i)
+	}
+	series, err := sp.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 10 {
+		t.Fatalf("got %d points, want 10", len(series.Points))
+	}
+	for i, pt := range series.Points {
+		want := 42.0
+		if i >= 5 { // schedule switches at t = 50 ms
+			want = 20.0
+		}
+		if math.Abs(pt.PowerW-want) > 1e-6 {
+			t.Errorf("point %d (t=%v) PowerW = %v, want %v", i, pt.TS, pt.PowerW, want)
+		}
+	}
+}
+
+func TestMockEnergyJoulesSchedule(t *testing.T) {
+	m := &Mock{PowerWatts: 42, Steps: []MockStep{{AtS: 0.1, Watts: 20}, {AtS: 0.2, Watts: 5}}}
+	tests := []struct {
+		elapsed float64
+		want    float64
+	}{
+		{0, 0},
+		{0.05, 2.1},          // 42 × 0.05
+		{0.1, 4.2},           // boundary
+		{0.15, 4.2 + 1},      // + 20 × 0.05
+		{0.3, 4.2 + 2 + 0.5}, // + 20 × 0.1 + 5 × 0.1
+		{-1, 0},              // never negative
+	}
+	for _, tc := range tests {
+		if got := m.energyJoules(tc.elapsed); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("energyJoules(%v) = %v, want %v", tc.elapsed, got, tc.want)
+		}
+	}
+}
+
+func TestSamplerCountsDeltas(t *testing.T) {
+	clk := newQueueClock(atMS(0), atMS(0), atMS(10), atMS(20))
+	m := NewMockWithClock(10, 0, clk.now)
+	anchor, _ := m.Read()
+	var mu sync.Mutex
+	cum := []float64{0, 0}
+	polled := make(chan struct{}, 16)
+	tick := make(chan time.Time)
+	s := &Sampler{
+		Meter:    m,
+		Interval: 10 * time.Millisecond,
+		Events:   []string{"cycles", "instructions"},
+		Counts: func() ([]float64, error) {
+			mu.Lock()
+			snap := append([]float64(nil), cum...)
+			mu.Unlock()
+			polled <- struct{}{}
+			return snap, nil
+		},
+		tick: tick,
+	}
+	sp := s.Start(anchor)
+	<-polled // baseline poll at Start
+	for i := 0; i < 2; i++ {
+		mu.Lock()
+		cum[0] += 1000
+		cum[1] += 500
+		mu.Unlock()
+		tick <- atMS(10 * (i + 1))
+		<-polled
+	}
+	series, err := sp.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Events) != 2 || series.Events[0] != "cycles" {
+		t.Errorf("Events = %v", series.Events)
+	}
+	if len(series.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(series.Points))
+	}
+	for i, pt := range series.Points {
+		if len(pt.Counts) != 2 || pt.Counts[0] != 1000 || pt.Counts[1] != 500 {
+			t.Errorf("point %d Counts = %v, want [1000 500]", i, pt.Counts)
+		}
+	}
+}
+
+func TestSamplerClampsCounterResets(t *testing.T) {
+	clk := newQueueClock(atMS(0), atMS(0), atMS(10))
+	m := NewMockWithClock(10, 0, clk.now)
+	anchor, _ := m.Read()
+	polls := 0
+	tick := make(chan time.Time)
+	s := &Sampler{
+		Meter:    m,
+		Interval: 10 * time.Millisecond,
+		Counts: func() ([]float64, error) {
+			polls++
+			if polls == 1 {
+				return []float64{5000}, nil // stale pre-reset baseline
+			}
+			return []float64{100}, nil // session reset between polls
+		},
+		tick: tick,
+	}
+	sp := s.Start(anchor)
+	tick <- atMS(10)
+	series, err := sp.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 1 {
+		t.Fatalf("got %d points, want 1", len(series.Points))
+	}
+	if got := series.Points[0].Counts[0]; got != 0 {
+		t.Errorf("negative counter delta = %v, want clamped to 0", got)
+	}
+}
+
+func TestSamplerSurfacesMeterError(t *testing.T) {
+	clk := newQueueClock(atMS(0), atMS(0))
+	boom := errors.New("read failed")
+	m := &failAfterMeter{Mock: NewMockWithClock(10, 0, clk.now), failAfter: 1, err: boom}
+	anchor, err := m.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := make(chan time.Time)
+	s := &Sampler{Meter: m, Interval: 10 * time.Millisecond, tick: tick}
+	sp := s.Start(anchor)
+	tick <- atMS(10) // this read fails inside the sampling goroutine
+	series, err := sp.Stop()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Stop err = %v, want %v", err, boom)
+	}
+	if len(series.Points) != 0 {
+		t.Errorf("got %d points after failing read, want 0", len(series.Points))
+	}
+}
+
+// failAfterMeter delegates to the mock, failing every Read after the first
+// failAfter successes.
+type failAfterMeter struct {
+	*Mock
+	failAfter int
+	mu        sync.Mutex
+	reads     int
+	err       error
+}
+
+func (f *failAfterMeter) Read() (Reading, error) {
+	f.mu.Lock()
+	f.reads++
+	n := f.reads
+	f.mu.Unlock()
+	if n > f.failAfter {
+		return Reading{}, f.err
+	}
+	return f.Mock.Read()
+}
+
+// notifyMeter signals after every delegated Read so tests can rewrite a fake
+// sysfs tree between sampler ticks without racing the sampling goroutine.
+type notifyMeter struct {
+	EnergyMeter
+	read chan struct{}
+}
+
+func (n *notifyMeter) Read() (Reading, error) {
+	r, err := n.EnergyMeter.Read()
+	n.read <- struct{}{}
+	return r, err
+}
+
+// TestSamplerRAPLWrapMidSeries drives a sampling series across the RAPL wrap
+// modulus using the fake powercap tree: the tick that observes the wrapped
+// counter must unwrap against max_energy_range_uj exactly as the end-of-trial
+// delta does.
+func TestSamplerRAPLWrapMidSeries(t *testing.T) {
+	root := t.TempDir()
+	const maxRange = 10_000_000 // 10 J wrap modulus
+	writeRAPLDomain(t, root, "intel-rapl:0", "package-0", 9_000_000, maxRange)
+	r, err := NewRAPL(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := &notifyMeter{EnergyMeter: r, read: make(chan struct{}, 8)}
+
+	anchor, err := nm.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-nm.read
+	tick := make(chan time.Time)
+	s := &Sampler{Meter: nm, Interval: time.Millisecond, tick: tick}
+	sp := s.Start(anchor)
+
+	// Tick 1: counter advances without wrapping.
+	writeRAPLDomain(t, root, "intel-rapl:0", "package-0", 9_600_000, maxRange)
+	tick <- time.Now()
+	<-nm.read
+
+	// Tick 2: counter crosses the wrap modulus mid-series:
+	// 9_600_000 → (wrap) → 400_000 is a true delta of 800_000 µJ.
+	writeRAPLDomain(t, root, "intel-rapl:0", "package-0", 400_000, maxRange)
+	tick <- time.Now()
+	<-nm.read
+
+	// Tick 3: normal advance after the wrap.
+	writeRAPLDomain(t, root, "intel-rapl:0", "package-0", 700_000, maxRange)
+	tick <- time.Now()
+	<-nm.read
+
+	series, err := sp.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) < 3 {
+		t.Fatalf("got %d points, want at least 3", len(series.Points))
+	}
+	want := []uint64{600_000, 800_000, 300_000}
+	for i, w := range want {
+		if got := series.Points[i].DomainUJ[0]; got != w {
+			t.Errorf("point %d DomainUJ = %d µJ, want %d", i, got, w)
+		}
+	}
+}
+
+// TestSamplerRAPLMultiDomainOrdering checks that per-point domain deltas stay
+// aligned with Domains() order across a series, including a wrap on one
+// domain but not the other.
+func TestSamplerRAPLMultiDomainOrdering(t *testing.T) {
+	root := t.TempDir()
+	const maxRange = 1_000_000
+	writeRAPLDomain(t, root, "intel-rapl:0", "package-0", 100_000, maxRange)
+	writeRAPLDomain(t, root, "intel-rapl:1", "package-1", 900_000, maxRange)
+	r, err := NewRAPL(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doms := r.Domains()
+	if len(doms) != 2 || doms[0].Name != "package-0" || doms[1].Name != "package-1" {
+		t.Fatalf("unexpected domains: %+v", doms)
+	}
+	nm := &notifyMeter{EnergyMeter: r, read: make(chan struct{}, 8)}
+	anchor, err := nm.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-nm.read
+	tick := make(chan time.Time)
+	s := &Sampler{Meter: nm, Interval: time.Millisecond, tick: tick}
+	sp := s.Start(anchor)
+
+	// package-0 advances by 50_000; package-1 wraps: 900_000 → 200_000 is
+	// (1_000_000 - 900_000) + 200_000 = 300_000 µJ.
+	writeRAPLDomain(t, root, "intel-rapl:0", "package-0", 150_000, maxRange)
+	writeRAPLDomain(t, root, "intel-rapl:1", "package-1", 200_000, maxRange)
+	tick <- time.Now()
+	<-nm.read
+
+	series, err := sp.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) < 1 {
+		t.Fatal("no points")
+	}
+	pt := series.Points[0]
+	if len(pt.DomainUJ) != 2 {
+		t.Fatalf("DomainUJ = %v, want 2 domains", pt.DomainUJ)
+	}
+	if pt.DomainUJ[0] != 50_000 {
+		t.Errorf("package-0 delta = %d, want 50000 (ordering broken?)", pt.DomainUJ[0])
+	}
+	if pt.DomainUJ[1] != 300_000 {
+		t.Errorf("package-1 delta = %d, want 300000 wrapped (ordering broken?)", pt.DomainUJ[1])
+	}
+}

@@ -84,7 +84,11 @@ func (m *Mock) Events() []string { return m.events }
 // OpenThread opens a deterministic session for the workload. cpu is
 // recorded only for symmetry with the perf backend.
 func (m *Mock) OpenThread(_ int, workload string) (Session, error) {
-	return &mockSession{m: m, workload: workload}, nil
+	return &mockSession{
+		m:        m,
+		workload: workload,
+		last:     Counts{Values: make([]EventCount, len(m.events))},
+	}, nil
 }
 
 type mockSession struct {
@@ -95,6 +99,7 @@ type mockSession struct {
 	start   time.Time
 	running bool
 	closed  bool
+	last    Counts // most recent full reading, served by Poll when stopped
 }
 
 func (s *mockSession) Start() error {
@@ -118,7 +123,26 @@ func (s *mockSession) Stop() (Counts, error) {
 		return Counts{}, fmt.Errorf("perf: mock session stopped without a start")
 	}
 	s.running = false
-	elapsed := s.m.now().Sub(s.start)
+	c := s.countsLocked(s.m.now().Sub(s.start))
+	s.last = c
+	return c, nil
+}
+
+// Poll returns the counts accumulated so far in the current repetition
+// without stopping the session; on a stopped or closed session it returns
+// the last full reading, mirroring the perf backend's frozen counters.
+func (s *mockSession) Poll() (Counts, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.running {
+		return s.last, nil
+	}
+	return s.countsLocked(s.m.now().Sub(s.start)), nil
+}
+
+// countsLocked computes the planted-rate counts for one elapsed window.
+// Callers hold s.mu.
+func (s *mockSession) countsLocked(elapsed time.Duration) Counts {
 	enabledNS := uint64(elapsed.Nanoseconds())
 	frac := s.m.RunningFraction
 	if frac <= 0 || frac > 1 {
@@ -136,7 +160,7 @@ func (s *mockSession) Stop() (Counts, error) {
 			TimeRunningNS: runningNS,
 		}
 	}
-	return c, nil
+	return c
 }
 
 func (s *mockSession) Close() error {

@@ -202,6 +202,16 @@ type Session interface {
 	Close() error
 }
 
+// Poller is an optional Session extension: Poll reads the session's
+// cumulative counts for the current repetition without disabling the
+// counters, so an in-trial sampler can observe event deltas while the
+// measured region runs. After Stop (or Close) Poll returns the repetition's
+// final counts, making it safe to race a trailing sampler tick against the
+// worker's own Stop. Both shipped backends implement it.
+type Poller interface {
+	Poll() (Counts, error)
+}
+
 // NewMeter constructs the backend a normalized Spec names. The perf backend
 // fails on non-Linux hosts and on kernels that refuse self-profiling; use
 // Available to probe before planning a long sweep.

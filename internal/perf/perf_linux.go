@@ -5,6 +5,7 @@ package perf
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"syscall"
 	"unsafe"
 )
@@ -104,7 +105,7 @@ func (m *linuxMeter) Events() []string { return m.events }
 // onto the PMU (and multiplexes off it) as a unit and a single read returns
 // consistent counts plus the shared time_enabled/time_running pair.
 func (m *linuxMeter) OpenThread(cpu int, _ string) (Session, error) {
-	s := &linuxSession{n: len(m.defs)}
+	s := &linuxSession{n: len(m.defs), last: Counts{Values: make([]EventCount, len(m.defs))}}
 	for i, def := range m.defs {
 		attr := perfEventAttr{
 			Type:       def.typ,
@@ -159,12 +160,16 @@ func perfEventOpen(attr *perfEventAttr, pid, cpu, groupFD int, flags uintptr) (i
 // last Start: PERF_EVENT_IOC_RESET zeroes only the counts, so per-repetition
 // times must be taken as deltas against this baseline or a reused session
 // would scale one repetition's counts over every previous repetition's
-// enabled window.
+// enabled window. The mutex serializes the worker thread's Start/Stop/Close
+// against Poll calls from a sampling goroutine; last caches the most recent
+// full reading so Poll stays answerable after Close.
 type linuxSession struct {
+	mu          sync.Mutex
 	fds         []int
 	n           int
 	baseEnabled uint64
 	baseRunning uint64
+	last        Counts
 }
 
 func (s *linuxSession) ioctlGroup(req uintptr) error {
@@ -198,6 +203,8 @@ func (s *linuxSession) readGroup() (enabled, running uint64, raws []uint64, err 
 // time_enabled/time_running as the repetition baseline (still disabled, so
 // the snapshot is exact), and enables it.
 func (s *linuxSession) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.fds) == 0 {
 		return fmt.Errorf("perf: session is closed")
 	}
@@ -215,12 +222,43 @@ func (s *linuxSession) Start() error {
 // Stop disables the group and reads it, reporting counts with times taken
 // relative to the Start baseline.
 func (s *linuxSession) Stop() (Counts, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.fds) == 0 {
 		return Counts{}, fmt.Errorf("perf: session is closed")
 	}
 	if err := s.ioctlGroup(perfIOCDisable); err != nil {
 		return Counts{}, err
 	}
+	c, err := s.readCounts()
+	if err != nil {
+		return Counts{}, err
+	}
+	s.last = c
+	return c, nil
+}
+
+// Poll reads the group without disabling it: counts keep accumulating while
+// the measured region runs. On a closed session it returns the last full
+// reading, so a sampler tick racing session teardown sees frozen counts
+// instead of an error.
+func (s *linuxSession) Poll() (Counts, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.fds) == 0 {
+		return s.last, nil
+	}
+	c, err := s.readCounts()
+	if err != nil {
+		return Counts{}, err
+	}
+	s.last = c
+	return c, nil
+}
+
+// readCounts reads the group and scales it against the Start baseline.
+// Callers hold s.mu.
+func (s *linuxSession) readCounts() (Counts, error) {
 	enabled, running, raws, err := s.readGroup()
 	if err != nil {
 		return Counts{}, err
@@ -240,6 +278,8 @@ func (s *linuxSession) Stop() (Counts, error) {
 }
 
 func (s *linuxSession) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var first error
 	for _, fd := range s.fds {
 		if err := syscall.Close(fd); err != nil && first == nil {

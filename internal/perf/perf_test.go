@@ -242,3 +242,63 @@ func TestPerfBackendCountsInstructions(t *testing.T) {
 			counts2.Values[0].Scaled, counts.Values[0].Scaled)
 	}
 }
+
+// TestMockPollMidRepetition: Poll observes counts accumulating while the
+// session runs, and freezes at the Stop value afterwards — the contract the
+// in-trial sampler depends on.
+func TestMockPollMidRepetition(t *testing.T) {
+	clock := time.Unix(0, 0)
+	m := NewMockWithClock([]string{"instructions"}, func() time.Time { return clock })
+	sess, err := m.OpenThread(0, "int-alu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	p, ok := sess.(Poller)
+	if !ok {
+		t.Fatal("mock session does not implement Poller")
+	}
+
+	// Before any Start: zeros, not an error.
+	c, err := p.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Values[0].Scaled; got != 0 {
+		t.Errorf("pre-start Poll = %v, want 0", got)
+	}
+
+	if err := sess.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(100 * time.Millisecond)
+	c, err = p.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MockRate("int-alu", "instructions") * 0.1
+	if got := c.Values[0].Scaled; math.Abs(got-want) > 1 {
+		t.Errorf("mid-rep Poll = %v, want %v", got, want)
+	}
+
+	clock = clock.Add(100 * time.Millisecond)
+	stopC, err := sess.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(time.Hour) // time after Stop must not count
+	c, err = p.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Values[0].Scaled, stopC.Values[0].Scaled; got != want {
+		t.Errorf("post-stop Poll = %v, want frozen Stop value %v", got, want)
+	}
+	sess.Close()
+	if c, err = p.Poll(); err != nil {
+		t.Fatalf("Poll after Close: %v", err)
+	}
+	if got, want := c.Values[0].Scaled, stopC.Values[0].Scaled; got != want {
+		t.Errorf("post-close Poll = %v, want frozen Stop value %v", got, want)
+	}
+}

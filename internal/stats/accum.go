@@ -34,13 +34,15 @@ func (a *Accumulator) StdDev() float64 {
 	return math.Sqrt(a.m2 / float64(a.n-1))
 }
 
-// CV returns the running coefficient of variation (StdDev/Mean), or 0 when
-// the mean is 0.
+// CV returns the running coefficient of variation (StdDev/|Mean|), or 0 when
+// the mean is 0. Using the mean's magnitude keeps CV non-negative for
+// negative-mean sample sets; a signed CV would satisfy any positive
+// convergence target immediately and stop adaptive repetitions after minN.
 func (a *Accumulator) CV() float64 {
 	if a.mean == 0 {
 		return 0
 	}
-	return a.StdDev() / a.mean
+	return a.StdDev() / math.Abs(a.mean)
 }
 
 // Converged reports whether the accumulated samples satisfy the CV-based

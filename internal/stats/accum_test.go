@@ -64,3 +64,34 @@ func TestAccumulatorConverged(t *testing.T) {
 		t.Error("converged despite huge CV")
 	}
 }
+
+func TestAccumulatorCVNegativeMean(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{-100, -1, -50} {
+		a.Push(x)
+	}
+	if cv := a.CV(); cv <= 0 {
+		t.Fatalf("CV of negative-mean samples = %v, want positive", cv)
+	}
+	// Noisy negative samples must not satisfy the stopping rule just
+	// because the mean's sign flipped the CV.
+	if a.Converged(0.05, 2) {
+		t.Error("noisy negative-mean samples reported as converged")
+	}
+
+	var stable Accumulator
+	stable.Push(-100)
+	stable.Push(-101)
+	if !stable.Converged(0.05, 2) {
+		t.Error("tight negative-mean samples did not converge")
+	}
+}
+
+func TestAccumulatorCVZeroMean(t *testing.T) {
+	var a Accumulator
+	a.Push(-1)
+	a.Push(1)
+	if cv := a.CV(); cv != 0 {
+		t.Errorf("CV with zero mean = %v, want 0", cv)
+	}
+}

@@ -16,7 +16,7 @@ type Summary struct {
 	Mean     float64 `json:"mean"`
 	Median   float64 `json:"median"`
 	StdDev   float64 `json:"stddev"`
-	CV       float64 `json:"cv"` // StdDev / Mean, 0 if Mean is 0
+	CV       float64 `json:"cv"` // StdDev / |Mean|, 0 if Mean is 0
 	Min      float64 `json:"min"`
 	Max      float64 `json:"max"`
 }
@@ -63,14 +63,17 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(ss / float64(n-1))
 }
 
-// CV returns the coefficient of variation (StdDev/Mean), or 0 when the mean
-// is 0.
+// CV returns the coefficient of variation (StdDev/|Mean|), or 0 when the
+// mean is 0. The magnitude of the mean is used so that sample sets with a
+// negative mean still report positive dispersion — a signed CV would compare
+// as "below target" against any positive threshold and defeat CV-driven
+// stopping rules.
 func CV(xs []float64) float64 {
 	m := Mean(xs)
 	if m == 0 {
 		return 0
 	}
-	return StdDev(xs) / m
+	return StdDev(xs) / math.Abs(m)
 }
 
 // RejectOutliers iteratively removes the sample farthest from the mean while
@@ -101,7 +104,7 @@ func RejectOutliers(xs []float64, maxCV float64, minKeep int) (kept []float64, r
 func Summarize(xs []float64) Summary {
 	s := Summary{N: len(xs), Mean: Mean(xs), Median: Median(xs), StdDev: StdDev(xs)}
 	if s.Mean != 0 {
-		s.CV = s.StdDev / s.Mean
+		s.CV = s.StdDev / math.Abs(s.Mean)
 	}
 	if len(xs) > 0 {
 		s.Min, s.Max = xs[0], xs[0]

@@ -88,6 +88,10 @@ func TestCV(t *testing.T) {
 		{"zero-mean", []float64{-1, 1}, 0},
 		{"uniform", []float64{5, 5}, 0},
 		{"known", []float64{2, 4, 4, 4, 5, 5, 7, 9}, 2.138089935299395 / 5},
+		// Negated samples must report the same (positive) dispersion; a
+		// signed CV would sit below any positive convergence target.
+		{"negative-mean", []float64{-2, -4, -4, -4, -5, -5, -7, -9}, 2.138089935299395 / 5},
+		{"negative-uniform", []float64{-5, -5}, 0},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -95,6 +99,16 @@ func TestCV(t *testing.T) {
 				t.Errorf("CV(%v) = %v, want %v", tc.in, got, tc.want)
 			}
 		})
+	}
+}
+
+func TestSummarizeNegativeMeanCV(t *testing.T) {
+	s := Summarize([]float64{-2, -4, -4, -4, -5, -5, -7, -9})
+	if want := 2.138089935299395 / 5; !almostEq(s.CV, want) {
+		t.Errorf("Summarize CV = %v, want %v", s.CV, want)
+	}
+	if z := Summarize([]float64{-1, 1}); z.CV != 0 {
+		t.Errorf("Summarize zero-mean CV = %v, want 0", z.CV)
 	}
 }
 

@@ -30,7 +30,12 @@ import (
 //	v2 — result may carry a measured activity vector (result.counters:
 //	     scaled hardware event counts per thread). v1 records load
 //	     unchanged; their results simply have no counters.
-const SchemaVersion = 2
+//	v3 — result may carry a sampling interval (result.sample_interval_ns)
+//	     and per-repetition time-resolved series (result.samples[i].series:
+//	     per-domain µJ deltas, power, and event counts per tick), plus the
+//	     meter-window duration per sample (result.samples[i].meter_time_s).
+//	     v1/v2 records load unchanged; their samples simply have no series.
+const SchemaVersion = 3
 
 // maxLine bounds one JSONL record; results with many samples stay far under.
 const maxLine = 16 << 20

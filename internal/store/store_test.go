@@ -6,8 +6,10 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"energybench/internal/harness"
+	"energybench/internal/meter"
 	"energybench/internal/stats"
 )
 
@@ -342,5 +344,67 @@ func TestLoadV1RecordsUnderV2(t *testing.T) {
 	c := recs[1].Result.Counters
 	if c == nil || len(c.Events) != 1 || c.Events[0].Event != "llc-misses" || c.Events[0].RateHzMean != 5.5e7 {
 		t.Errorf("counters did not round-trip: %+v", c)
+	}
+}
+
+// TestLoadV2RecordsUnderV3 extends the compat guarantee one schema further: a
+// store written by the v2 build (records with counters but no series) must
+// load under the v3 reader unchanged, mixed freely with v3 records carrying a
+// sampling interval and per-repetition time-resolved series.
+func TestLoadV2RecordsUnderV3(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.jsonl")
+	v2 := `{"v":2,"key":"chase-l1||t1+0|none|mock|i1000+0","saved_at":"2026-07-15T00:00:00Z","result":{"spec":"chase-l1","component":"l1","threads":1,"iters":1000,"placement":"none","meter":"mock","power_w_summary":{"mean":20},"counters":{"backend":"mock","reps":2,"events":[{"event":"cycles","total_mean":1e9,"rate_hz_mean":3e9}]}}}` + "\n"
+	if err := os.WriteFile(path, []byte(v2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append a v3 record carrying an in-trial sampling series on top.
+	withSeries := mkResult("int-alu", 2, "compact")
+	withSeries.SampleInterval = 10 * time.Millisecond
+	withSeries.Samples = []harness.Sample{{
+		EnergyJ:    1.5,
+		TimeS:      0.03,
+		MeterTimeS: 0.031,
+		PowerW:     48.4,
+		Series: &meter.Series{
+			StartAt:   time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC),
+			IntervalS: 0.01,
+			Events:    []string{"cycles"},
+			Points: []meter.SeriesPoint{
+				{TS: 0.01, DomainUJ: []uint64{500000}, PowerW: 50, Counts: []float64{3e7}},
+				{TS: 0.02, DomainUJ: []uint64{480000}, PowerW: 48, Counts: []float64{2.9e7}},
+			},
+		},
+	}}
+	if _, err := Append(path, []harness.Result{withSeries}); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := Load(path)
+	if err != nil {
+		t.Fatalf("mixed v2/v3 store failed to load: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("loaded %d records, want 2", len(recs))
+	}
+	old := recs[0]
+	if old.V != 2 || old.Result.SampleInterval != 0 {
+		t.Errorf("v2 record = v%d interval=%v, want v2 with no sample interval", old.V, old.Result.SampleInterval)
+	}
+	if c := old.Result.Counters; c == nil || len(c.Events) != 1 || c.Events[0].Event != "cycles" {
+		t.Errorf("v2 counters did not survive the v3 reader: %+v", c)
+	}
+	neu := recs[1]
+	if neu.V != SchemaVersion {
+		t.Errorf("appended record schema = %d, want %d", neu.V, SchemaVersion)
+	}
+	if neu.Result.SampleInterval != 10*time.Millisecond {
+		t.Errorf("sample interval = %v, want 10ms", neu.Result.SampleInterval)
+	}
+	if len(neu.Result.Samples) != 1 || neu.Result.Samples[0].Series == nil {
+		t.Fatalf("series missing from round-trip: %+v", neu.Result.Samples)
+	}
+	if !reflect.DeepEqual(neu.Result.Samples[0], withSeries.Samples[0]) {
+		t.Errorf("sample did not round-trip:\n got %+v\nwant %+v", neu.Result.Samples[0], withSeries.Samples[0])
 	}
 }
