@@ -9,13 +9,13 @@ COVER_FLOOR := 70
 # clean.
 SCRATCH := .scratch
 
-.PHONY: all ci build test lint staticcheck cover fuzz bench bench-json bench-store smoke smoke-sampling clean
+.PHONY: all ci build test lint staticcheck cover fuzz bench bench-json bench-store smoke smoke-sampling smoke-planner clean
 
 all: lint build test
 
 # ci runs the same gates as the GitHub workflow; it must finish with a clean
 # working tree (all droppings confined to $(SCRATCH)/ and other ignored paths).
-ci: lint staticcheck build test fuzz cover smoke smoke-sampling
+ci: lint staticcheck build test fuzz cover smoke smoke-sampling smoke-planner
 	@dirty=$$(git status --porcelain); if [ -n "$$dirty" ]; then \
 		echo "make ci left the tree dirty:" >&2; echo "$$dirty" >&2; exit 1; fi
 	@echo "ci OK (tree clean)"
@@ -101,5 +101,18 @@ smoke-sampling: build
 	python3 scripts/sampling_smoke_check.py $(SCRATCH)/sampling-smoke.jsonl $(SCRATCH)/sampling-phases.json BENCH_sampling.json
 	@echo "sampling smoke OK (wrote BENCH_sampling.json)"
 
+# The CI planner smoke: the adaptive (algo active) campaign vs the
+# exhaustive sweep of the same planted-model grid. Mirrors the planner-smoke
+# CI job; the acceptance assertions (≤ half the grid's trials, every
+# coefficient within 5% of the exhaustive fit) live in
+# scripts/planner_smoke_check.py, which writes BENCH_planner.json.
+smoke-planner: build
+	@mkdir -p $(SCRATCH)
+	rm -f $(SCRATCH)/planner-active.jsonl $(SCRATCH)/planner-all.jsonl
+	./bin/energybench run --campaign testdata/planner-active.yaml > $(SCRATCH)/planner-report.json
+	./bin/energybench run --campaign testdata/planner-all.yaml > /dev/null
+	./bin/energybench analyze --db=$(SCRATCH)/planner-all.jsonl > $(SCRATCH)/planner-all-analysis.json
+	python3 scripts/planner_smoke_check.py $(SCRATCH)/planner-report.json $(SCRATCH)/planner-all-analysis.json BENCH_planner.json
+
 clean:
-	rm -rf bin $(SCRATCH) cover.out BENCH_kernels.json BENCH_store.json BENCH_sampling.json scale-store smoke-results.jsonl counter-smoke.jsonl counter-analysis.json
+	rm -rf bin $(SCRATCH) cover.out BENCH_kernels.json BENCH_store.json BENCH_sampling.json BENCH_planner.json scale-store smoke-results.jsonl counter-smoke.jsonl counter-analysis.json

@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"energybench/internal/adapt"
 	"energybench/internal/bench"
 	"energybench/internal/campaign"
 	"energybench/internal/harness"
@@ -116,6 +117,28 @@ run flags:
   --mock-schedule=S   piecewise-constant mock power schedule 'atS:watts,...'
                       (e.g. '0.05:60,0.1:20'); before the first boundary the
                       draw is --mock-watts; requires --meter=mock
+  --mock-model=S      plant a linear mock power model 'component:watts,...'
+                      added per active thread on top of --mock-watts (the
+                      intercept), giving the mock configuration-dependent
+                      power; requires --meter=mock, exclusive with
+                      --mock-schedule
+  --mock-noise=F      deterministic per-configuration noise amplitude (watts)
+                      on a planted --mock-model, so fits see residual scatter
+  --algo=NAME         campaign planning algorithm (default all): 'all' sweeps
+                      the grid exhaustively; 'active' runs the adaptive
+                      planner, dispatching the trials with the highest
+                      expected information gain until every model
+                      coefficient's relative standard error is below
+                      --target-rse; 'bo' searches for the lowest-EDP
+                      configuration by expected improvement. Adaptive runs
+                      print a planner report (rounds, trials, final fit) on
+                      stdout; results stream to --store
+  --batch=N           adaptive: trials dispatched per planning round (default 8)
+  --budget=N          adaptive: cap on newly executed trials (default: full grid)
+  --target-rse=F      active: convergence target for the worst coefficient's
+                      relative standard error (default 0.05)
+  --seed=N            adaptive: seed for every random choice the planner
+                      makes (default 1); same seed, same trial selections
   --executor=NAME     trial backend: inprocess (default) or subprocess —
                       each trial in a freshly exec'd worker child, so
                       pinning/warmup/metering run in a quiet process and a
@@ -279,13 +302,22 @@ type sweepConfig struct {
 	// mockSchedule is the piecewise-constant mock power schedule in
 	// 'atS:watts,...' form; empty for a constant draw.
 	mockSchedule string
-	executor     string // campaign.ExecutorInProcess | campaign.ExecutorSubprocess
-	parallel     int
-	timeout      time.Duration
-	storePath    string
-	resume       bool
-	dryRun       bool
-	progress     bool
+	// mockModel plants a linear power model ('component:watts,...') on the
+	// mock meter, with mockNoise the deterministic per-configuration noise
+	// amplitude; both empty/zero for a constant draw.
+	mockModel string
+	mockNoise float64
+	// adapt, when non-nil, replaces the exhaustive sweep with the adaptive
+	// planner: stdout gets the planner report instead of the result array
+	// (results stream to the store sink).
+	adapt     *adapt.Config
+	executor  string // campaign.ExecutorInProcess | campaign.ExecutorSubprocess
+	parallel  int
+	timeout   time.Duration
+	storePath string
+	resume    bool
+	dryRun    bool
+	progress  bool
 	// counters is the normalized activity-metering spec the trials carry;
 	// nil when counters are off. Kept here so the sweep can probe the perf
 	// backend once up front instead of failing per trial.
@@ -301,6 +333,13 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		meterName      = fs.String("meter", "mock", "energy backend: mock|rapl")
 		mockWatts      = fs.Float64("mock-watts", 42, "constant power modeled by the mock meter")
 		mockSchedule   = fs.String("mock-schedule", "", "piecewise-constant mock power schedule 'atS:watts,...' (requires --meter=mock)")
+		mockModel      = fs.String("mock-model", "", "planted linear mock power model 'component:watts,...' added per active thread (requires --meter=mock)")
+		mockNoise      = fs.Float64("mock-noise", 0, "deterministic per-configuration noise amplitude for a planted mock model (watts)")
+		algo           = fs.String("algo", adapt.AlgoAll, "campaign planning algorithm: all (exhaustive) | active (D-optimal model convergence) | bo (expected-improvement EDP search)")
+		batch          = fs.Int("batch", 0, "adaptive planner: trials dispatched per round (default 8; requires --algo=active|bo)")
+		budget         = fs.Int("budget", 0, "adaptive planner: cap on newly executed trials (default: full grid; requires --algo=active|bo)")
+		targetRSE      = fs.Float64("target-rse", 0, "adaptive planner: stop once every coefficient's relative standard error is at or below this (default 0.05; requires --algo=active)")
+		seed           = fs.Int64("seed", 0, "adaptive planner: seed for every random choice (default 1; requires --algo=active|bo)")
 		executor       = fs.String("executor", campaign.ExecutorInProcess, "trial backend: inprocess|subprocess")
 		parallel       = fs.Int("parallel", 1, "max concurrently running trials (requires --executor=subprocess when above 1)")
 		timeout        = fs.Duration("trial-timeout", 0, "kill a subprocess worker running longer than this (0: no limit)")
@@ -351,6 +390,7 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 			trials:    trials,
 			meterName: c.Meter,
 			mockWatts: *c.MockWatts,
+			mockModel: c.MockModel,
 			executor:  c.Executor,
 			parallel:  *c.Parallel,
 			timeout:   ctimeout,
@@ -359,6 +399,12 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 			dryRun:    *dryRun,
 			progress:  *progress,
 			counters:  ccounters,
+		}
+		if c.MockNoiseW != nil {
+			cfg.mockNoise = *c.MockNoiseW
+		}
+		if ac, ok := c.AdaptConfig(); ok {
+			cfg.adapt = &ac
 		}
 		if c.Name != "" {
 			fmt.Fprintf(stderr, "campaign %q: %d planned trials across %d spaces\n", c.Name, len(trials), len(c.Spaces))
@@ -372,6 +418,29 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		// serializing under the in-process executor, or corrupting rapl
 		// energies); the same shared check guards campaign files.
 		if err := campaign.ValidateExec(*meterName, *executor, *parallel, *timeout); err != nil {
+			return err
+		}
+		// The planner knobs share the campaign-file validator; a flag left at
+		// its default counts as unset (nil) there, so e.g. --batch without
+		// --algo=active|bo is rejected the same way a campaign file's would be.
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		var batchP, budgetP *int
+		var rseP *float64
+		var seedP *int64
+		if set["batch"] {
+			batchP = batch
+		}
+		if set["budget"] {
+			budgetP = budget
+		}
+		if set["target-rse"] {
+			rseP = targetRSE
+		}
+		if set["seed"] {
+			seedP = seed
+		}
+		if err := campaign.ValidatePlanner(*algo, batchP, budgetP, rseP, seedP); err != nil {
 			return err
 		}
 		space, err := buildSpace()
@@ -398,6 +467,8 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 			meterName:    *meterName,
 			mockWatts:    *mockWatts,
 			mockSchedule: *mockSchedule,
+			mockModel:    *mockModel,
+			mockNoise:    *mockNoise,
 			executor:     *executor,
 			parallel:     *parallel,
 			timeout:      *timeout,
@@ -407,6 +478,9 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 			progress:     *progress,
 			counters:     counters,
 		}
+		if *algo == adapt.AlgoActive || *algo == adapt.AlgoBO {
+			cfg.adapt = &adapt.Config{Algo: *algo, Batch: *batch, Budget: *budget, TargetRSE: *targetRSE, Seed: *seed}
+		}
 	}
 	return executeSweep(ctx, cfg, stdout, stderr)
 }
@@ -414,6 +488,7 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 func executeSweep(ctx context.Context, cfg sweepConfig, stdout, stderr io.Writer) error {
 	trials := cfg.trials
 	skipped := 0
+	var prior []harness.Result
 	if cfg.resume {
 		if cfg.storePath == "" {
 			return fmt.Errorf("--resume requires --store")
@@ -424,10 +499,24 @@ func executeSweep(ctx context.Context, cfg sweepConfig, stdout, stderr io.Writer
 		if err != nil {
 			return err
 		}
+		var priorKeys []string
 		trials, skipped = harness.FilterTrials(trials, func(t harness.Trial) bool {
-			return keys[t.Key(cfg.meterName)]
+			if !keys[t.Key(cfg.meterName)] {
+				return false
+			}
+			priorKeys = append(priorKeys, t.Key(cfg.meterName))
+			return true
 		})
 		fmt.Fprintf(stderr, "resume: skipped %d already-stored trials, %d to run\n", skipped, len(trials))
+		if cfg.adapt != nil && len(priorKeys) > 0 {
+			// The adaptive planner resumes more than the trial list: the
+			// already-stored results of this plan seed its fitted state, so
+			// an interrupted campaign continues converging instead of
+			// re-spreading from scratch.
+			if prior, err = loadPriorResults(cfg.storePath, priorKeys); err != nil {
+				return err
+			}
+		}
 	}
 	if cfg.dryRun {
 		return writeJSON(stdout, newPlanDoc(trials, skipped))
@@ -461,30 +550,46 @@ func executeSweep(ctx context.Context, cfg sweepConfig, stdout, stderr io.Writer
 		storeSink = store.NewSink(cfg.storePath)
 		sinks = append(sinks, storeSink)
 	}
-	sinks = append(sinks, harness.NewJSONArraySink(stdout))
+	if cfg.adapt == nil {
+		// An adaptive run prints the planner report on stdout instead of the
+		// result array; its results reach the store sink only.
+		sinks = append(sinks, harness.NewJSONArraySink(stdout))
+	}
 
-	var runErr error
+	var dispatch adapt.Dispatcher
 	if cfg.executor == campaign.ExecutorSubprocess {
 		// Probe the meter once up front so a systematically broken backend
 		// (e.g. rapl without powercap read access) fails fast, instead of
 		// spawning one doomed worker per trial and reporting the same
 		// error hundreds of times.
-		if _, err := newMeter(cfg.meterName, cfg.mockWatts, cfg.mockSchedule); err != nil {
+		if _, err := newMeter(cfg.meterName, cfg.mockWatts, cfg.mockSchedule, cfg.mockModel, cfg.mockNoise); err != nil {
 			return err
 		}
-		exec, err := newSubprocessExecutor(cfg.meterName, cfg.mockWatts, cfg.mockSchedule, cfg.timeout)
+		exec, err := newSubprocessExecutor(cfg.meterName, cfg.mockWatts, cfg.mockSchedule, cfg.mockModel, cfg.mockNoise, cfg.timeout)
 		if err != nil {
 			return err
 		}
-		sched := &harness.Scheduler{Executor: exec, Parallel: cfg.parallel, Log: log}
-		runErr = sched.RunPlan(ctx, trials, sinks)
+		dispatch = &harness.Scheduler{Executor: exec, Parallel: cfg.parallel, Log: log}
 	} else {
-		m, err := newMeter(cfg.meterName, cfg.mockWatts, cfg.mockSchedule)
+		m, err := newMeter(cfg.meterName, cfg.mockWatts, cfg.mockSchedule, cfg.mockModel, cfg.mockNoise)
 		if err != nil {
 			return err
 		}
-		runner := &harness.Runner{Meter: m, Log: log}
-		runErr = runner.RunPlan(ctx, trials, sinks)
+		dispatch = &harness.Runner{Meter: m, Log: log}
+	}
+
+	var runErr error
+	if cfg.adapt != nil {
+		planner := &adapt.Planner{Cfg: *cfg.adapt, Dispatch: dispatch, Log: log}
+		rep, err := planner.Run(ctx, trials, prior, sinks)
+		runErr = err
+		if rep != nil {
+			if werr := writeJSON(stdout, rep); werr != nil {
+				runErr = errors.Join(runErr, werr)
+			}
+		}
+	} else {
+		runErr = dispatch.RunPlan(ctx, trials, sinks)
 	}
 	if err := sinks.Close(); err != nil {
 		runErr = errors.Join(runErr, err)
@@ -493,6 +598,29 @@ func executeSweep(ctx context.Context, cfg sweepConfig, stdout, stderr io.Writer
 		fmt.Fprintf(stderr, "stored %d results in %s\n", storeSink.Count(), cfg.storePath)
 	}
 	return runErr
+}
+
+// loadPriorResults reads the already-stored results of a resumed adaptive
+// plan back out of the store, sorted by configuration key so the planner's
+// seeded state (and therefore its selections) is deterministic regardless of
+// store layout or write order.
+func loadPriorResults(path string, keys []string) ([]harness.Result, error) {
+	st, err := store.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	var out []harness.Result
+	for rec, err := range st.Query(store.Filter{Keys: keys}) {
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec.Result)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return harness.ResultKey(out[i]) < harness.ResultKey(out[j])
+	})
+	return out, nil
 }
 
 // cmdStore dispatches the store subcommand: explicit verbs (query, compact,

@@ -27,7 +27,7 @@ const workerEnvMarker = "ENERGYBENCH_WORKER"
 // `worker-trial` child for every trial, forwarding the meter configuration
 // as child flags so the parent never has to construct the meter itself
 // (RAPL sysfs access stays confined to the measuring process).
-func newSubprocessExecutor(meterName string, mockWatts float64, mockSchedule string, timeout time.Duration) (*harness.Subprocess, error) {
+func newSubprocessExecutor(meterName string, mockWatts float64, mockSchedule, mockModel string, mockNoise float64, timeout time.Duration) (*harness.Subprocess, error) {
 	self, err := os.Executable()
 	if err != nil {
 		return nil, fmt.Errorf("locating own binary for worker re-exec: %w", err)
@@ -37,6 +37,12 @@ func newSubprocessExecutor(meterName string, mockWatts float64, mockSchedule str
 		args = append(args, fmt.Sprintf("--mock-watts=%g", mockWatts))
 		if mockSchedule != "" {
 			args = append(args, "--mock-schedule="+mockSchedule)
+		}
+		if mockModel != "" {
+			args = append(args, "--mock-model="+mockModel)
+			if mockNoise > 0 {
+				args = append(args, fmt.Sprintf("--mock-noise=%g", mockNoise))
+			}
 		}
 	}
 	return &harness.Subprocess{
@@ -60,11 +66,13 @@ func cmdWorkerTrial(ctx context.Context, args []string, stdin io.Reader, stdout,
 		meterName    = fs.String("meter", "mock", "energy backend: mock|rapl")
 		mockWatts    = fs.Float64("mock-watts", 42, "constant power modeled by the mock meter")
 		mockSchedule = fs.String("mock-schedule", "", "piecewise-constant mock power schedule 'atS:watts,...'")
+		mockModel    = fs.String("mock-model", "", "planted linear mock power model 'component:watts,...'")
+		mockNoise    = fs.Float64("mock-noise", 0, "deterministic per-configuration noise amplitude for a planted model (watts)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := runWorkerTrial(ctx, *meterName, *mockWatts, *mockSchedule, stdin)
+	res, err := runWorkerTrial(ctx, *meterName, *mockWatts, *mockSchedule, *mockModel, *mockNoise, stdin)
 	env := harness.WorkerEnvelope{V: harness.WorkerProtocolVersion}
 	if err != nil {
 		env.Error = err.Error()
@@ -80,7 +88,7 @@ func cmdWorkerTrial(ctx context.Context, args []string, stdin io.Reader, stdout,
 	return nil
 }
 
-func runWorkerTrial(ctx context.Context, meterName string, mockWatts float64, mockSchedule string, stdin io.Reader) (harness.Result, error) {
+func runWorkerTrial(ctx context.Context, meterName string, mockWatts float64, mockSchedule, mockModel string, mockNoise float64, stdin io.Reader) (harness.Result, error) {
 	var t harness.Trial
 	if err := json.NewDecoder(stdin).Decode(&t); err != nil {
 		return harness.Result{}, fmt.Errorf("decoding trial from stdin: %w", err)
@@ -95,7 +103,7 @@ func runWorkerTrial(ctx context.Context, meterName string, mockWatts float64, mo
 			return harness.Result{}, err
 		}
 	}
-	m, err := newMeter(meterName, mockWatts, mockSchedule)
+	m, err := newMeter(meterName, mockWatts, mockSchedule, mockModel, mockNoise)
 	if err != nil {
 		return harness.Result{}, err
 	}
@@ -106,9 +114,18 @@ func runWorkerTrial(ctx context.Context, meterName string, mockWatts float64, mo
 // newMeter constructs the energy backend. It is the single construction
 // path shared by the in-process sweep and the worker child, so a new
 // backend only needs wiring here.
-func newMeter(name string, mockWatts float64, mockSchedule string) (meter.EnergyMeter, error) {
+func newMeter(name string, mockWatts float64, mockSchedule, mockModel string, mockNoise float64) (meter.EnergyMeter, error) {
 	if mockSchedule != "" && name != "mock" {
 		return nil, fmt.Errorf("--mock-schedule requires --meter=mock, got meter %q", name)
+	}
+	if mockModel != "" && name != "mock" {
+		return nil, fmt.Errorf("--mock-model requires --meter=mock, got meter %q", name)
+	}
+	if mockModel != "" && mockSchedule != "" {
+		return nil, fmt.Errorf("--mock-model and --mock-schedule are exclusive: a planted model already defines the draw over time")
+	}
+	if mockNoise != 0 && mockModel == "" {
+		return nil, fmt.Errorf("--mock-noise requires --mock-model")
 	}
 	switch name {
 	case "mock":
@@ -118,6 +135,17 @@ func newMeter(name string, mockWatts float64, mockSchedule string) (meter.Energy
 			return nil, err
 		}
 		m.Steps = steps
+		if mockModel != "" {
+			planted, err := meter.ParseMockModel(mockModel)
+			if err != nil {
+				return nil, err
+			}
+			m.ModelW = planted
+			if mockNoise < 0 {
+				return nil, fmt.Errorf("--mock-noise must be non-negative, got %v", mockNoise)
+			}
+			m.NoiseW = mockNoise
+		}
 		return m, nil
 	case "rapl":
 		return meter.NewRAPL(meter.DefaultPowercapRoot)

@@ -1,0 +1,315 @@
+package adapt
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"testing"
+
+	"energybench/internal/bench"
+	"energybench/internal/harness"
+	"energybench/internal/model"
+	"energybench/internal/stats"
+)
+
+// plantedDispatcher synthesizes results from a planted linear power model —
+// the same formula meter.Mock uses, minus the real kernel execution — so
+// planner tests run in microseconds and every "measurement" is exact.
+type plantedDispatcher struct {
+	staticW float64
+	coeffW  map[bench.Component]float64
+	noiseW  float64
+	ran     []string       // keys in dispatch order
+	count   map[string]int // per-key dispatch count
+}
+
+func (d *plantedDispatcher) RunPlan(ctx context.Context, trials []harness.Trial, sink harness.ResultSink) error {
+	if d.count == nil {
+		d.count = map[string]int{}
+	}
+	for _, t := range trials {
+		key := t.Key("mock")
+		d.ran = append(d.ran, key)
+		d.count[key]++
+		if sink != nil {
+			if err := sink.Consume(d.result(t)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (d *plantedDispatcher) result(t harness.Trial) harness.Result {
+	act := activityOf(t)
+	comps := make([]bench.Component, 0, len(act))
+	for c := range act {
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
+	power := d.staticW
+	h := fnv.New64a()
+	for _, c := range comps {
+		power += d.coeffW[c] * act[c]
+		fmt.Fprintf(h, "%s=%g|", c, act[c])
+	}
+	if d.noiseW > 0 {
+		u := float64(h.Sum64()) / float64(^uint64(0))
+		power += (2*u - 1) * d.noiseW
+	}
+	timeS := 1 / float64(t.Threads)
+	r := harness.Result{
+		Spec:      t.Spec.Name,
+		Component: t.Spec.Component,
+		Threads:   t.Threads,
+		Iters:     t.Iters,
+		Placement: t.Placement,
+		Meter:     "mock",
+		PowerW:    stats.Summary{Mean: power},
+		TimeS:     stats.Summary{Mean: timeS},
+		EnergyJ:   stats.Summary{Mean: power * timeS},
+		EDP:       power * timeS * timeS,
+	}
+	if t.SpecB != nil {
+		r.SpecB = t.SpecB.Name
+		r.ComponentB = t.SpecB.Component
+		r.ThreadsB = t.Threads
+		r.ItersB = t.ItersB
+	}
+	return r
+}
+
+// plantedCoeffs is the model every planner test plants: four well-separated
+// per-thread coefficients over distinct components.
+func plantedCoeffs() map[bench.Component]float64 {
+	return map[bench.Component]float64{
+		"int-alu": 2, "fpu": 5, "l1": 1.5, "dram": 8,
+	}
+}
+
+// testPool expands the reference planner grid: four single-component specs
+// crossed with six thread counts — 24 trials, 5 model parameters.
+func testPool(t *testing.T) []harness.Trial {
+	t.Helper()
+	var specs []bench.Spec
+	for _, name := range []string{"int-alu", "fp-mac", "chase-l1", "chase-dram"} {
+		s, err := bench.Lookup(name)
+		if err != nil {
+			t.Fatalf("lookup %s: %v", name, err)
+		}
+		specs = append(specs, s)
+	}
+	trials, err := harness.Plan(harness.Space{
+		Specs:        specs,
+		ThreadCounts: []int{1, 2, 3, 4, 5, 6},
+		Placements:   []harness.Placement{harness.PlaceNone},
+		Reps:         1,
+		IterScale:    1,
+	})
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	return trials
+}
+
+// TestActiveRecoversPlantedModel is the acceptance criterion: on the planted
+// model, algo active converges with every coefficient within 5% of the
+// exhaustive grid's fit while running at most half of the grid.
+func TestActiveRecoversPlantedModel(t *testing.T) {
+	pool := testPool(t)
+	d := &plantedDispatcher{staticW: 42, coeffW: plantedCoeffs(), noiseW: 0.3}
+
+	// Exhaustive reference: fit every configuration in the grid.
+	exhaustive := &plantedDispatcher{staticW: 42, coeffW: plantedCoeffs(), noiseW: 0.3}
+	all := &harness.Collector{}
+	if err := exhaustive.RunPlan(context.Background(), pool, all); err != nil {
+		t.Fatalf("exhaustive: %v", err)
+	}
+	fullFit, err := model.FitPower(model.FromResults(all.Results))
+	if err != nil {
+		t.Fatalf("exhaustive fit: %v", err)
+	}
+
+	p := &Planner{Cfg: Config{Algo: AlgoActive, Batch: 8}, Dispatch: d, Log: t.Logf}
+	rep, err := p.Run(context.Background(), pool, nil, nil)
+	if err != nil {
+		t.Fatalf("planner: %v", err)
+	}
+	if !rep.Converged {
+		t.Fatalf("planner did not converge: max_rse=%v after %d trials", rep.MaxRSE, rep.RanTrials)
+	}
+	if rep.RanTrials > len(pool)/2 {
+		t.Fatalf("planner ran %d of %d grid trials, want at most half", rep.RanTrials, len(pool))
+	}
+	if rep.Fit == nil {
+		t.Fatal("converged report carries no fit")
+	}
+	checkWithin := func(name string, got, want float64) {
+		t.Helper()
+		if want == 0 || math.Abs(got-want)/math.Abs(want) > 0.05 {
+			t.Errorf("%s: adaptive %v vs exhaustive %v differs by more than 5%%", name, got, want)
+		}
+	}
+	checkWithin("p_static", rep.Fit.PStaticW, fullFit.PStaticW)
+	for c, want := range fullFit.CoeffW {
+		checkWithin(string(c), rep.Fit.CoeffW[c], want)
+	}
+}
+
+// TestActiveResumesFromPrior proves an interrupted adaptive campaign
+// continues from stored results: no already-measured configuration is
+// dispatched again, and the resumed run still converges within the combined
+// half-grid bound.
+func TestActiveResumesFromPrior(t *testing.T) {
+	pool := testPool(t)
+	coeffs := plantedCoeffs()
+
+	// First (interrupted) campaign: one batch, then stop on budget.
+	d1 := &plantedDispatcher{staticW: 42, coeffW: coeffs, noiseW: 0.3}
+	sink1 := &harness.Collector{}
+	p1 := &Planner{Cfg: Config{Algo: AlgoActive, Batch: 6, Budget: 6}, Dispatch: d1}
+	rep1, err := p1.Run(context.Background(), pool, nil, sink1)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if rep1.RanTrials != 6 {
+		t.Fatalf("first run executed %d trials, want the budget of 6", rep1.RanTrials)
+	}
+
+	// Resume: drop the already-run trials from the pool (what the CLI's
+	// --resume key filtering does) and seed the prior results.
+	doneKeys := map[string]bool{}
+	for _, k := range d1.ran {
+		doneKeys[k] = true
+	}
+	remaining, skipped := harness.FilterTrials(pool, func(t harness.Trial) bool {
+		return doneKeys[t.Key("mock")]
+	})
+	if skipped != 6 {
+		t.Fatalf("resume filtered %d trials, want 6", skipped)
+	}
+
+	d2 := &plantedDispatcher{staticW: 42, coeffW: coeffs, noiseW: 0.3}
+	p2 := &Planner{Cfg: Config{Algo: AlgoActive, Batch: 6}, Dispatch: d2}
+	rep2, err := p2.Run(context.Background(), remaining, sink1.Results, nil)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	for _, k := range d2.ran {
+		if doneKeys[k] {
+			t.Errorf("resumed campaign re-ran already-stored trial %s", k)
+		}
+	}
+	if rep2.PriorTrials != 6 {
+		t.Errorf("resumed report counts %d prior trials, want 6", rep2.PriorTrials)
+	}
+	if !rep2.Converged {
+		t.Fatalf("resumed campaign did not converge (max_rse=%v)", rep2.MaxRSE)
+	}
+	if total := rep2.TotalTrials; total > len(pool)/2 {
+		t.Errorf("resumed campaign used %d total trials, want at most half of %d", total, len(pool))
+	}
+}
+
+// TestPlannerDeterminism: the same seed selects the same trials in the same
+// order — the planner's only randomness is the seeded spread.
+func TestPlannerDeterminism(t *testing.T) {
+	pool := testPool(t)
+	run := func(seed int64) []string {
+		d := &plantedDispatcher{staticW: 42, coeffW: plantedCoeffs(), noiseW: 0.3}
+		p := &Planner{Cfg: Config{Algo: AlgoActive, Batch: 4, Seed: seed}, Dispatch: d}
+		if _, err := p.Run(context.Background(), pool, nil, nil); err != nil {
+			t.Fatalf("run(seed=%d): %v", seed, err)
+		}
+		return d.ran
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("same seed dispatched %d vs %d trials", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at dispatch %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestBOFindsBestEDP: under the planted model the true EDP minimum is the
+// lowest-coefficient spec at the highest thread count; bo must surface it
+// without running the whole grid.
+func TestBOFindsBestEDP(t *testing.T) {
+	pool := testPool(t)
+	d := &plantedDispatcher{staticW: 42, coeffW: plantedCoeffs(), noiseW: 0.1}
+
+	// True argmin over the full grid, from the same synthetic results.
+	ref := &plantedDispatcher{staticW: 42, coeffW: plantedCoeffs(), noiseW: 0.1}
+	all := &harness.Collector{}
+	if err := ref.RunPlan(context.Background(), pool, all); err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	want := bestConfig(all.Results)
+
+	p := &Planner{Cfg: Config{Algo: AlgoBO, Batch: 8, Budget: 16}, Dispatch: d}
+	rep, err := p.Run(context.Background(), pool, nil, nil)
+	if err != nil {
+		t.Fatalf("bo: %v", err)
+	}
+	if rep.Best == nil {
+		t.Fatal("bo report has no best configuration")
+	}
+	if rep.Best.Key != want.Key {
+		t.Errorf("bo best %s (edp %v), true best %s (edp %v)", rep.Best.Key, rep.Best.EDPJs, want.Key, want.EDPJs)
+	}
+	if rep.RanTrials >= len(pool) {
+		t.Errorf("bo ran the whole grid (%d trials)", rep.RanTrials)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	pool := testPool(t)
+	d := &plantedDispatcher{staticW: 42, coeffW: plantedCoeffs()}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"exhaustive algo", Config{Algo: AlgoAll}},
+		{"unknown algo", Config{Algo: "random"}},
+		{"negative batch", Config{Algo: AlgoActive, Batch: -1}},
+		{"negative budget", Config{Algo: AlgoActive, Budget: -2}},
+		{"negative target", Config{Algo: AlgoActive, TargetRSE: -0.1}},
+	} {
+		p := &Planner{Cfg: tc.cfg, Dispatch: d}
+		if _, err := p.Run(context.Background(), pool, nil, nil); err == nil {
+			t.Errorf("%s: Run accepted invalid config %+v", tc.name, tc.cfg)
+		}
+	}
+	if err := ValidateAlgo("bo"); err != nil {
+		t.Errorf("ValidateAlgo(bo): %v", err)
+	}
+	if err := ValidateAlgo("anneal"); err == nil {
+		t.Error("ValidateAlgo accepted unknown algorithm")
+	}
+}
+
+// TestActiveBudgetExhaustion: an unreachable target stops at the budget with
+// Converged false and a fit over everything measured.
+func TestActiveBudgetExhaustion(t *testing.T) {
+	pool := testPool(t)
+	d := &plantedDispatcher{staticW: 42, coeffW: plantedCoeffs(), noiseW: 5}
+	p := &Planner{Cfg: Config{Algo: AlgoActive, Batch: 5, Budget: 10, TargetRSE: 1e-12}, Dispatch: d}
+	rep, err := p.Run(context.Background(), pool, nil, nil)
+	if err != nil {
+		t.Fatalf("planner: %v", err)
+	}
+	if rep.Converged {
+		t.Error("planner claims convergence at an impossible target")
+	}
+	if rep.RanTrials != 10 {
+		t.Errorf("planner ran %d trials, want the budget of 10", rep.RanTrials)
+	}
+	if rep.Fit == nil {
+		t.Error("budget-exhausted report carries no fit")
+	}
+}

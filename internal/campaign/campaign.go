@@ -15,8 +15,10 @@ import (
 	"strings"
 	"time"
 
+	"energybench/internal/adapt"
 	"energybench/internal/bench"
 	"energybench/internal/harness"
+	"energybench/internal/meter"
 	"energybench/internal/perf"
 )
 
@@ -36,6 +38,32 @@ type Campaign struct {
 	// a pointer so the zero value stays distinguishable — and rejectable —
 	// rather than silently becoming the default).
 	MockWatts *float64 `json:"mock_watts,omitempty"`
+	// MockModel plants a linear power model on the mock meter:
+	// "component:watts,..." terms added per active thread on top of
+	// MockWatts (the intercept). It gives the mock configuration-dependent
+	// power, which adaptive-planner campaigns and CI smokes fit against.
+	MockModel string `json:"mock_model,omitempty"`
+	// MockNoiseW adds a deterministic per-configuration perturbation of this
+	// amplitude (watts) to a planted model, so fits see residual scatter.
+	MockNoiseW *float64 `json:"mock_noise_w,omitempty"`
+	// Algo picks the campaign planning algorithm: "all" (default, exhaustive
+	// grid), "active" (D-optimal active learning converging the power
+	// model), or "bo" (expected-improvement search for the lowest-EDP
+	// configuration).
+	Algo string `json:"algo,omitempty"`
+	// Batch is the number of trials the adaptive planner dispatches per
+	// round (default 8). Requires algo active|bo.
+	Batch *int `json:"batch,omitempty"`
+	// Budget caps the number of newly executed trials of an adaptive
+	// campaign (default: the full grid). Requires algo active|bo.
+	Budget *int `json:"budget,omitempty"`
+	// TargetRSE is the active-mode convergence target: the campaign stops
+	// once every coefficient's relative standard error is at or below it
+	// (default 0.05). Requires algo active.
+	TargetRSE *float64 `json:"target_rse,omitempty"`
+	// Seed drives every random choice the adaptive planner makes (default
+	// 1). Requires algo active|bo.
+	Seed *int64 `json:"seed,omitempty"`
 	// Executor picks the trial backend: "inprocess" (default) or
 	// "subprocess" (each trial in a freshly exec'd worker child).
 	Executor string `json:"executor,omitempty"`
@@ -208,6 +236,49 @@ func ValidateExec(meterName, executor string, parallel int, timeout time.Duratio
 	return nil
 }
 
+// ValidatePlanner checks the adaptive-planner knob invariants shared by
+// campaign files and the CLI run flags: the algo name must be known; batch,
+// budget, target_rse, and seed are only meaningful on an adaptive campaign
+// (nil means unset); and target_rse applies only to active mode — bo's
+// stopping rule is expected improvement, not coefficient precision, so a
+// target_rse there would be silently ignored and is rejected instead.
+func ValidatePlanner(algo string, batch, budget *int, targetRSE *float64, seed *int64) error {
+	if err := adapt.ValidateAlgo(algo); err != nil {
+		return err
+	}
+	if algo == "" || algo == adapt.AlgoAll {
+		switch {
+		case batch != nil:
+			return fmt.Errorf("batch requires algo active|bo")
+		case budget != nil:
+			return fmt.Errorf("budget requires algo active|bo")
+		case targetRSE != nil:
+			return fmt.Errorf("target_rse requires algo active")
+		case seed != nil:
+			return fmt.Errorf("seed requires algo active|bo")
+		}
+		return nil
+	}
+	if batch != nil && *batch < 1 {
+		return fmt.Errorf("batch must be at least 1, got %d", *batch)
+	}
+	if budget != nil && *budget < 1 {
+		return fmt.Errorf("budget must be at least 1, got %d", *budget)
+	}
+	if targetRSE != nil {
+		if algo == adapt.AlgoBO {
+			return fmt.Errorf("target_rse applies only to algo active (bo stops on expected improvement)")
+		}
+		if *targetRSE <= 0 {
+			return fmt.Errorf("target_rse must be positive, got %v", *targetRSE)
+		}
+	}
+	if seed != nil && *seed == 0 {
+		return fmt.Errorf("seed must be nonzero (0 means unset; the default is %d)", adapt.DefaultSeed)
+	}
+	return nil
+}
+
 // Validate checks the campaign's cross-field invariants and that every
 // space expands into a valid harness.Space (spec names resolve against the
 // catalog, thread counts are positive, and so on).
@@ -217,6 +288,23 @@ func (c *Campaign) Validate() error {
 	}
 	if c.MockWatts != nil && *c.MockWatts <= 0 {
 		return fmt.Errorf("campaign: mock_watts must be positive, got %v", *c.MockWatts)
+	}
+	if c.MockModel != "" && c.Meter != "mock" {
+		return fmt.Errorf("campaign: mock_model requires the mock meter, not %q", c.Meter)
+	}
+	if _, err := c.MockModelMap(); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	if c.MockNoiseW != nil {
+		if c.MockModel == "" {
+			return fmt.Errorf("campaign: mock_noise_w requires mock_model")
+		}
+		if *c.MockNoiseW < 0 {
+			return fmt.Errorf("campaign: mock_noise_w must be non-negative, got %v", *c.MockNoiseW)
+		}
+	}
+	if err := ValidatePlanner(c.Algo, c.Batch, c.Budget, c.TargetRSE, c.Seed); err != nil {
+		return fmt.Errorf("campaign: %w", err)
 	}
 	timeout, err := c.Timeout()
 	if err != nil {
@@ -247,6 +335,35 @@ func (c *Campaign) Validate() error {
 		}
 	}
 	return nil
+}
+
+// MockModelMap parses the mock_model key into the planted-model map handed
+// to meter.Mock; nil when unset.
+func (c *Campaign) MockModelMap() (map[string]float64, error) {
+	return meter.ParseMockModel(c.MockModel)
+}
+
+// AdaptConfig resolves the planner knobs into an adapt.Config; ok is false
+// for an exhaustive (algo all or unset) campaign. Unset knobs stay zero —
+// the planner applies its documented defaults.
+func (c *Campaign) AdaptConfig() (adapt.Config, bool) {
+	if c.Algo != adapt.AlgoActive && c.Algo != adapt.AlgoBO {
+		return adapt.Config{}, false
+	}
+	cfg := adapt.Config{Algo: c.Algo}
+	if c.Batch != nil {
+		cfg.Batch = *c.Batch
+	}
+	if c.Budget != nil {
+		cfg.Budget = *c.Budget
+	}
+	if c.TargetRSE != nil {
+		cfg.TargetRSE = *c.TargetRSE
+	}
+	if c.Seed != nil {
+		cfg.Seed = *c.Seed
+	}
+	return cfg, true
 }
 
 // CounterSpec resolves the counters/counter_backend fields into the

@@ -119,6 +119,18 @@ func (e *InProcess) Execute(ctx context.Context, t Trial) (Result, error) {
 		return res, fmt.Errorf("harness: trial has %d explicit CPUs for %d worker threads", len(cpus), len(units))
 	}
 
+	// A load-aware meter (the mock's planted linear model) draws power as a
+	// function of the running configuration: hand it the trial's nominal
+	// activity vector — the same component→threads map the nominal power
+	// model regresses on — before any repetition starts.
+	if la, ok := e.Meter.(meter.LoadAware); ok {
+		load := map[string]float64{string(t.Spec.Component): float64(t.Threads)}
+		if t.SpecB != nil {
+			load[string(t.SpecB.Component)] += float64(t.Threads)
+		}
+		la.SetLoad(load)
+	}
+
 	var activity perf.ActivityMeter
 	if t.Counters != nil {
 		am, err := e.activityMeter(*t.Counters)

@@ -1,9 +1,25 @@
 package meter
 
 import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
+
+// LoadAware is the optional EnergyMeter extension for meters that model
+// power as a function of the current workload activity. The executor calls
+// SetLoad with the trial's nominal activity vector (component → active
+// thread count) before its repetitions start, so a modeled mock draws
+// configuration-dependent power — the planted linear model adaptive-planner
+// tests and CI smokes fit against. Real meters measure instead of model and
+// simply don't implement it.
+type LoadAware interface {
+	SetLoad(load map[string]float64)
+}
 
 // MockStep is one boundary of a piecewise-constant mock power schedule: from
 // AtS seconds after the meter's epoch onward, the meter draws Watts.
@@ -24,9 +40,26 @@ type Mock struct {
 	MaxRangeMicroJ uint64
 	Steps          []MockStep // sorted by AtS; before Steps[0].AtS the draw is PowerWatts
 
+	// ModelW, when non-nil, plants a linear power model: the draw becomes
+	// PowerWatts + Σ_c ModelW[c]·load_c (+ a deterministic NoiseW-amplitude
+	// perturbation per distinct load vector), with the load vector supplied
+	// through SetLoad. Planted models take precedence over Steps.
+	ModelW map[string]float64
+	// NoiseW is the amplitude of the per-configuration pseudo-noise added
+	// to a modeled draw: a hash of the load vector mapped into [-NoiseW,
+	// +NoiseW], so repeated measurements of one configuration agree exactly
+	// while the fit across configurations sees residual scatter.
+	NoiseW float64
+
 	mu    sync.Mutex
 	now   func() time.Time
 	epoch time.Time
+	// Modeled-power integration state: energy accumulated through completed
+	// load segments, the elapsed offset the current segment started at, and
+	// the current total draw.
+	accumJ    float64
+	segStartS float64
+	loadW     float64
 }
 
 // NewMock returns a mock meter drawing powerWatts with a realistic 32-bit-ish
@@ -58,11 +91,90 @@ func (m *Mock) Read() (Reading, error) {
 		m.epoch = t
 	}
 	elapsed := t.Sub(m.epoch).Seconds()
-	microJ := uint64(m.energyJoules(elapsed) * 1e6)
+	joules := m.energyJoules(elapsed)
+	if m.ModelW != nil {
+		joules = m.accumJ + (m.PowerWatts+m.loadW)*(elapsed-m.segStartS)
+	}
+	microJ := uint64(joules * 1e6)
 	if m.MaxRangeMicroJ > 0 {
 		microJ %= m.MaxRangeMicroJ
 	}
 	return Reading{At: t, Counters: []uint64{microJ}}, nil
+}
+
+// SetLoad switches the modeled draw to the given activity vector, closing
+// the previous load segment's energy integral first so readings across the
+// transition stay exact. A mock without a planted model ignores it.
+func (m *Mock) SetLoad(load map[string]float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ModelW == nil {
+		return
+	}
+	t := m.now()
+	if m.epoch.IsZero() {
+		m.epoch = t
+	}
+	elapsed := t.Sub(m.epoch).Seconds()
+	m.accumJ += (m.PowerWatts + m.loadW) * (elapsed - m.segStartS)
+	m.segStartS = elapsed
+	m.loadW = m.modelWatts(load)
+}
+
+// modelWatts evaluates the planted model on a load vector: the linear term
+// plus the configuration's deterministic noise.
+func (m *Mock) modelWatts(load map[string]float64) float64 {
+	if len(load) == 0 {
+		return 0
+	}
+	keys := make([]string, 0, len(load))
+	for c := range load {
+		keys = append(keys, c)
+	}
+	sort.Strings(keys)
+	var w float64
+	h := fnv.New64a()
+	for _, c := range keys {
+		w += m.ModelW[c] * load[c]
+		fmt.Fprintf(h, "%s=%g|", c, load[c])
+	}
+	if m.NoiseW > 0 {
+		// Map the 64-bit hash uniformly into [-1, 1]: the same load vector
+		// always lands on the same perturbation, so a configuration's
+		// repeated measurements agree while the cross-configuration
+		// residuals give the fit a nonzero variance to estimate.
+		u := float64(h.Sum64()) / float64(^uint64(0)) // [0, 1]
+		w += (2*u - 1) * m.NoiseW
+	}
+	return w
+}
+
+// ParseMockModel decodes the 'component:watts,...' planted-model syntax
+// shared by the --mock-model flag and the campaign mock_model key.
+func ParseMockModel(s string) (map[string]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	model := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		comp, wattsStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("mock model: term %q is not of the form component:watts", part)
+		}
+		comp = strings.TrimSpace(comp)
+		watts, err := strconv.ParseFloat(strings.TrimSpace(wattsStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("mock model: bad watts in %q: %w", part, err)
+		}
+		if comp == "" {
+			return nil, fmt.Errorf("mock model: term %q has an empty component name", part)
+		}
+		if _, dup := model[comp]; dup {
+			return nil, fmt.Errorf("mock model: component %q appears twice", comp)
+		}
+		model[comp] = watts
+	}
+	return model, nil
 }
 
 // energyJoules integrates the (piecewise-constant) power draw over the first

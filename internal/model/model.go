@@ -61,7 +61,110 @@ type Fit struct {
 	// RMSEW is the root-mean-square residual in watts.
 	RMSEW     float64    `json:"rmse_w"`
 	N         int        `json:"n"`
+	DoF       int        `json:"dof"`
 	Residuals []Residual `json:"residuals"`
+	// PStaticSEW/CoeffSEW are the OLS standard errors of the intercept and
+	// the per-component coefficients, and the *CI95W fields the matching
+	// 95% confidence intervals (estimate ± 1.96·SE, the normal
+	// approximation). They require at least one residual degree of freedom
+	// (N > parameters) and are omitted on an exactly-determined fit. They
+	// are the adaptive planner's stopping signal: a campaign is converged
+	// once every coefficient's relative standard error is below target.
+	PStaticSEW   float64                       `json:"p_static_se_w,omitempty"`
+	CoeffSEW     map[bench.Component]float64   `json:"coeff_se_w_per_thread,omitempty"`
+	PStaticCI95W []float64                     `json:"p_static_ci95_w,omitempty"`
+	CoeffCI95W   map[bench.Component][]float64 `json:"coeff_ci95_w_per_thread,omitempty"`
+
+	// comps is the fixed design ordering of the component columns and
+	// invXtX the inverse normal matrix in that basis ([intercept, comps...]);
+	// both back PredictionVariance and neither serializes.
+	comps  []bench.Component
+	invXtX [][]float64
+}
+
+// RSE returns the relative standard error SE/|estimate| of every fitted
+// parameter ("p_static" plus one entry per component) and ok when standard
+// errors exist (DoF > 0). A zero estimate with a nonzero SE yields +Inf —
+// that parameter cannot be called converged at any precision.
+func (f *Fit) RSE() (map[string]float64, bool) {
+	if f.DoF <= 0 {
+		return nil, false
+	}
+	rel := func(se, est float64) float64 {
+		switch {
+		case se == 0:
+			return 0
+		case est == 0:
+			return math.Inf(1)
+		default:
+			return se / math.Abs(est)
+		}
+	}
+	out := map[string]float64{"p_static": rel(f.PStaticSEW, f.PStaticW)}
+	for c, se := range f.CoeffSEW {
+		out[string(c)] = rel(se, f.CoeffW[c])
+	}
+	return out, true
+}
+
+// MaxRSE returns the largest relative standard error across all fitted
+// parameters; ok is false when standard errors are unavailable.
+func (f *Fit) MaxRSE() (float64, bool) {
+	rses, ok := f.RSE()
+	if !ok {
+		return 0, false
+	}
+	var worst float64
+	for _, r := range rses {
+		worst = math.Max(worst, r)
+	}
+	return worst, true
+}
+
+// PredictionVariance returns the unscaled predictive leverage
+// xᵀ(XᵀX)⁻¹x of an activity vector under the fit's design — the
+// D-optimality score the adaptive planner ranks candidate trials by
+// (multiply by the residual variance for an absolute prediction variance).
+// ok is false when the fit carries no design inverse or the activity names
+// a component outside the fitted basis; such a candidate adds a whole new
+// column and is therefore maximally informative.
+func (f *Fit) PredictionVariance(activity map[bench.Component]float64) (float64, bool) {
+	if f.invXtX == nil {
+		return 0, false
+	}
+	for c := range activity {
+		if _, ok := f.CoeffW[c]; !ok {
+			return 0, false
+		}
+	}
+	x := make([]float64, len(f.comps)+1)
+	x[0] = 1
+	for j, c := range f.comps {
+		x[j+1] = activity[c]
+	}
+	var v float64
+	for i := range x {
+		for j := range x {
+			v += x[i] * f.invXtX[i][j] * x[j]
+		}
+	}
+	return v, true
+}
+
+// DesignBasis returns the fitted component column ordering; together with
+// the intercept in column 0 it is the basis DesignInverse is expressed in.
+func (f *Fit) DesignBasis() []bench.Component {
+	return append([]bench.Component(nil), f.comps...)
+}
+
+// DesignInverse returns a copy of the inverse normal matrix (XᵀX)⁻¹ in the
+// [intercept, DesignBasis...] basis, or nil when unavailable. The adaptive
+// planner seeds its Sherman–Morrison greedy batch selection from it.
+func (f *Fit) DesignInverse() [][]float64 {
+	if f.invXtX == nil {
+		return nil
+	}
+	return copyMatrix(f.invXtX)
 }
 
 // Predict evaluates the fitted model on an activity vector. Components are
@@ -128,12 +231,20 @@ func FitPower(obs []Observation) (*Fit, error) {
 			xty[i] += row[i] * o.PowerW
 		}
 	}
-	beta, err := solveLinear(xtx, xty)
+	// solveLinear overwrites its inputs; solve on copies so the normal
+	// matrix survives for the covariance inverse below.
+	beta, err := solveLinear(copyMatrix(xtx), append([]float64(nil), xty...))
 	if err != nil {
 		return nil, fmt.Errorf("model: design is rank-deficient — measure each component at two or more thread counts (%w)", err)
 	}
 
-	fit := &Fit{PStaticW: beta[0], CoeffW: map[bench.Component]float64{}, N: len(obs)}
+	fit := &Fit{PStaticW: beta[0], CoeffW: map[bench.Component]float64{}, N: len(obs), comps: comps}
+	fit.invXtX, err = invertMatrix(xtx)
+	if err != nil {
+		// Unreachable once the solve above succeeded, but a nil inverse
+		// only disables variance scoring — never the fit itself.
+		fit.invXtX = nil
+	}
 	for j, c := range comps {
 		fit.CoeffW[c] = beta[j+1]
 	}
@@ -152,6 +263,25 @@ func FitPower(obs []Observation) (*Fit, error) {
 		})
 	}
 	fit.RMSEW = math.Sqrt(ssRes / float64(len(obs)))
+	fit.DoF = len(obs) - k
+	if fit.DoF > 0 && fit.invXtX != nil {
+		// OLS covariance: Var(β) = σ²(XᵀX)⁻¹ with σ² the unbiased residual
+		// variance. The 95% interval uses the normal approximation
+		// (±1.96·SE); at the handful-of-dof end it understates the width a
+		// t-quantile would give, which the planner's margin absorbs.
+		sigma2 := ssRes / float64(fit.DoF)
+		se := func(j int) float64 { return math.Sqrt(sigma2 * math.Max(fit.invXtX[j][j], 0)) }
+		ci := func(est, se float64) []float64 { return []float64{est - 1.96*se, est + 1.96*se} }
+		fit.PStaticSEW = se(0)
+		fit.PStaticCI95W = ci(fit.PStaticW, fit.PStaticSEW)
+		fit.CoeffSEW = map[bench.Component]float64{}
+		fit.CoeffCI95W = map[bench.Component][]float64{}
+		for j, c := range comps {
+			s := se(j + 1)
+			fit.CoeffSEW[c] = s
+			fit.CoeffCI95W[c] = ci(fit.CoeffW[c], s)
+		}
+	}
 	switch {
 	case ssTot > 0:
 		fit.R2 = 1 - ssRes/ssTot
@@ -163,6 +293,37 @@ func FitPower(obs []Observation) (*Fit, error) {
 		fit.R2 = 0
 	}
 	return fit, nil
+}
+
+func copyMatrix(a [][]float64) [][]float64 {
+	out := make([][]float64, len(a))
+	for i := range a {
+		out[i] = append([]float64(nil), a[i]...)
+	}
+	return out
+}
+
+// invertMatrix inverts a symmetric positive-definite matrix (the normal
+// matrix XᵀX) column by column through solveLinear, reusing its pivoting
+// and singularity detection. a is preserved.
+func invertMatrix(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	inv := make([][]float64, n)
+	for i := range inv {
+		inv[i] = make([]float64, n)
+	}
+	for col := 0; col < n; col++ {
+		e := make([]float64, n)
+		e[col] = 1
+		x, err := solveLinear(copyMatrix(a), e)
+		if err != nil {
+			return nil, err
+		}
+		for row := 0; row < n; row++ {
+			inv[row][col] = x[row]
+		}
+	}
+	return inv, nil
 }
 
 // solveLinear solves a·x = b by Gaussian elimination with partial pivoting.

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Assertions for the adaptive-planner smoke (make smoke-planner / CI).
+
+Usage: planner_smoke_check.py ACTIVE_REPORT.json ALL_ANALYSIS.json BENCH_OUT.json
+
+The smoke runs the same planted-mock-model grid twice: adaptively
+(testdata/planner-active.yaml, whose planner report is the first argument)
+and exhaustively (testdata/planner-all.yaml, analyzed into the second). This
+script asserts the PR's acceptance criterion — the active planner converged
+using at most half of the exhaustive grid's trials with every coefficient
+(and the intercept) within 5% of the exhaustive fit — and writes the
+trials-to-convergence / coefficient-error comparison as the BENCH_planner
+artifact CI publishes.
+"""
+import json
+import sys
+
+TOLERANCE = 0.05  # max relative deviation from the exhaustive fit
+
+
+def main(report_path, analysis_path, bench_out):
+    report = json.load(open(report_path))
+    analysis = json.load(open(analysis_path))
+
+    assert report["algo"] == "active", report["algo"]
+    assert report["converged"], f"planner did not converge: {report}"
+    grid = report["grid_trials"]
+    ran = report["ran_trials"]
+    assert analysis["observations"] == grid, (
+        f"exhaustive leg fitted {analysis['observations']} observations, grid is {grid}"
+    )
+    assert 2 * ran <= grid, f"planner ran {ran} of {grid} trials, more than half the grid"
+
+    active_fit = report["fit"]
+    full_fit = analysis["fit"]
+    errors = {}
+
+    def check(name, got, want):
+        assert want != 0, f"{name}: exhaustive estimate is 0"
+        rel = abs(got - want) / abs(want)
+        errors[name] = rel
+        assert rel <= TOLERANCE, (
+            f"{name}: adaptive {got} vs exhaustive {want} differs by {rel:.2%} (> {TOLERANCE:.0%})"
+        )
+
+    check("p_static", active_fit["p_static_w"], full_fit["p_static_w"])
+    full_coeffs = full_fit["coeff_w_per_thread"]
+    active_coeffs = active_fit["coeff_w_per_thread"]
+    assert set(active_coeffs) == set(full_coeffs), (
+        f"coefficient sets differ: {sorted(active_coeffs)} vs {sorted(full_coeffs)}"
+    )
+    for comp, want in full_coeffs.items():
+        check(comp, active_coeffs[comp], want)
+
+    summary = {
+        "grid_trials": grid,
+        "active_trials": ran,
+        "trial_reduction_pct": round(100 * (1 - ran / grid), 1),
+        "rounds": len(report["rounds"]),
+        "converged": report["converged"],
+        "max_rse": report.get("max_rse"),
+        "target_rse": report.get("target_rse"),
+        "worst_coeff_error_pct": round(100 * max(errors.values()), 3),
+        "coeff_errors_pct": {k: round(100 * v, 3) for k, v in sorted(errors.items())},
+        "active_fit": {"p_static_w": active_fit["p_static_w"], **active_coeffs},
+        "exhaustive_fit": {"p_static_w": full_fit["p_static_w"], **full_coeffs},
+    }
+    with open(bench_out, "w") as f:
+        json.dump(summary, f, indent=2)
+        f.write("\n")
+    print(
+        f"planner smoke OK: converged in {ran}/{grid} trials "
+        f"({summary['trial_reduction_pct']}% fewer), worst coefficient error "
+        f"{summary['worst_coeff_error_pct']}% (wrote {bench_out})"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 4:
+        sys.exit(__doc__.strip())
+    main(*sys.argv[1:])
