@@ -9,13 +9,13 @@ COVER_FLOOR := 70
 # clean.
 SCRATCH := .scratch
 
-.PHONY: all ci build test lint staticcheck cover fuzz bench bench-json bench-store smoke smoke-sampling smoke-planner clean
+.PHONY: all ci build test lint staticcheck cover fuzz bench bench-json bench-store smoke smoke-sampling smoke-planner smoke-fleet docs-check clean
 
 all: lint build test
 
 # ci runs the same gates as the GitHub workflow; it must finish with a clean
 # working tree (all droppings confined to $(SCRATCH)/ and other ignored paths).
-ci: lint staticcheck build test fuzz cover smoke smoke-sampling smoke-planner
+ci: lint staticcheck docs-check build test fuzz cover smoke smoke-sampling smoke-planner smoke-fleet
 	@dirty=$$(git status --porcelain); if [ -n "$$dirty" ]; then \
 		echo "make ci left the tree dirty:" >&2; echo "$$dirty" >&2; exit 1; fi
 	@echo "ci OK (tree clean)"
@@ -114,5 +114,22 @@ smoke-planner: build
 	./bin/energybench analyze --db=$(SCRATCH)/planner-all.jsonl > $(SCRATCH)/planner-all-analysis.json
 	python3 scripts/planner_smoke_check.py $(SCRATCH)/planner-report.json $(SCRATCH)/planner-all-analysis.json BENCH_planner.json
 
+# The CI fleet smoke: a coordinator plus two local agents run the same
+# campaign the single-host smoke uses, and the merged store's key set
+# (host-stripped) must equal the serial run's key set exactly. Assertions
+# live in scripts/fleet_smoke_check.py, which writes BENCH_fleet.json.
+smoke-fleet: build
+	@mkdir -p $(SCRATCH)
+	./scripts/fleet_smoke.sh
+
+# Every internal package must carry its package comment in a doc.go, so
+# `go doc` has one canonical place to find it (CI runs the same check).
+docs-check:
+	@missing=""; for d in internal/*/; do \
+		[ -f "$$d/doc.go" ] || missing="$$missing $$d"; done; \
+	if [ -n "$$missing" ]; then \
+		echo "internal packages missing doc.go:$$missing" >&2; exit 1; fi
+	@echo "docs-check OK (every internal package has a doc.go)"
+
 clean:
-	rm -rf bin $(SCRATCH) cover.out BENCH_kernels.json BENCH_store.json BENCH_sampling.json BENCH_planner.json scale-store smoke-results.jsonl counter-smoke.jsonl counter-analysis.json
+	rm -rf bin $(SCRATCH) cover.out BENCH_kernels.json BENCH_store.json BENCH_sampling.json BENCH_planner.json BENCH_fleet.json scale-store smoke-results.jsonl counter-smoke.jsonl counter-analysis.json

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -56,6 +57,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return cmdRun(ctx, args[1:], stdout, stderr)
 	case "worker-trial":
 		return cmdWorkerTrial(ctx, args[1:], os.Stdin, stdout, stderr)
+	case "serve":
+		return cmdServe(ctx, args[1:], stdout, stderr)
+	case "agent":
+		return cmdAgent(ctx, args[1:], stdout, stderr)
+	case "submit":
+		return cmdSubmit(ctx, args[1:], stdout, stderr)
 	case "store":
 		return cmdStore(args[1:], stdout, stderr)
 	case "analyze":
@@ -77,13 +84,17 @@ func usage(w io.Writer) {
                                    space flags, print the planned trial count instead
   energybench run [flags]          sweep the exploration space, print JSON results
   energybench store query [flags]    stream matching records (or --keys) out of a store
-  energybench store add [flags]      append a 'run' JSON result file to a store
+  energybench store add [flags]      append results to a store ('run' JSON, a
+                                     record array, or an NDJSON record stream)
   energybench store compact [flags]  rewrite a store deduplicated; --shard migrates
                                      a single file to the sharded segment layout
   energybench store bench [flags]    synthesize a corpus, measure and verify the store
   energybench store [flags]        legacy flag form of the above (--add/--compact/filters)
   energybench analyze [flags]      fit the linear power model over a store
   energybench compare [flags]      report co-run interference vs solo baselines
+  energybench serve [flags]        run the fleet coordinator daemon (HTTP API)
+  energybench agent [flags]        run a fleet agent executing leased trial batches
+  energybench submit [flags]       submit a campaign file to a coordinator
 
 A store path is either a single JSONL file or a sharded segment-store
 directory; every subcommand auto-detects the layout. 'run --store' creates a
@@ -170,7 +181,9 @@ store flags:
   --db=PATH           store file or directory (required)
   --keys              (query) print the sorted configuration-key set instead
                       of records — the resume view; reads only the key index
-  --from=FILE         (add) results JSON file from 'run' ('-' for stdin)
+  --from=FILE         (add) results to append ('-' for stdin): a 'run' JSON
+                      array, a 'store query' record array, or an NDJSON
+                      record stream (a coordinator's /jobs/{id}/results)
   --shard             (compact) convert a single-file store to the sharded
                       segment layout in place, compacting as it goes
   --records=N         (bench) synthetic corpus size, duplicates included (default 50000)
@@ -179,6 +192,31 @@ store flags:
   --specs, --threads, --placement   legacy spellings of the same filters
   legacy flag form:   --add=FILE appends, --compact rewrites deduplicated,
                       filters alone list matching records
+
+fleet flags (see docs/ARCHITECTURE.md and docs/WIRE.md):
+  serve:
+  --listen=ADDR       coordinator API address (default 127.0.0.1:7979; :0 for
+                      an ephemeral port)
+  --data=DIR          coordinator data directory: submitted campaigns, job
+                      metadata, and each job's merged store (required)
+  --lease-ttl=D       batch lease duration before reclaim + re-dispatch (default 30s)
+  --batch=N           max trials per agent lease (default 4)
+  --resume            replay existing jobs under --data on startup (default true)
+  --addr-file=FILE    write the bound base URL to FILE (for --listen=:0 scripts)
+  agent:
+  --coordinator=URL   coordinator base URL (required)
+  --name=NAME         host name to register as (default: hostname; must be
+                      unique across the fleet)
+  --max-batch=N       max trials requested per lease (0: coordinator's default)
+  --poll=D            idle poll interval when no work is assignable (default 2s)
+  --cpus=N            CPU count to advertise (default: detected); trials wider
+                      than this are never routed here
+  submit:
+  --coordinator=URL   coordinator base URL (required)
+  --campaign=FILE     campaign file to submit (required); a 'hosts:' list in
+                      the file restricts which agents may execute it
+  --wait              poll until the job finishes, print the final status JSON
+  --timeout=D         give up waiting after this long (requires --wait)
 
 analyze / compare flags:
   --db=PATH           store file or directory (required)
@@ -373,6 +411,9 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		c, err := campaign.Load(*campaignPath)
 		if err != nil {
 			return err
+		}
+		if len(c.Hosts) > 0 {
+			return fmt.Errorf("campaign declares hosts (%s): it is fleet-scoped — submit it to a coordinator with 'energybench submit' instead of running it locally", strings.Join(c.Hosts, ", "))
 		}
 		trials, err := c.Plan()
 		if err != nil {
@@ -779,15 +820,94 @@ func storeAdd(db, from string, stdout io.Writer) error {
 		defer f.Close()
 		r = f
 	}
-	var results []harness.Result
-	if err := json.NewDecoder(r).Decode(&results); err != nil {
-		return fmt.Errorf("decoding results from %s: %w", from, err)
+	results, err := decodeAddInput(r, from)
+	if err != nil {
+		return err
 	}
 	n, err := store.Append(db, results)
 	if err != nil {
 		return err
 	}
 	return writeJSON(stdout, map[string]any{"db": db, "added": n})
+}
+
+// decodeAddInput accepts any of the result serializations the toolchain
+// emits: the JSON array `run` prints, the JSON array of store records
+// `store query` prints, or an NDJSON stream of store records (what a fleet
+// coordinator's GET /jobs/{id}/results emits) — so merged fleet output
+// pipes straight into a local store.
+func decodeAddInput(r io.Reader, from string) ([]harness.Result, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	for {
+		b, err := br.Peek(1)
+		if err != nil {
+			return nil, fmt.Errorf("reading results from %s: %w", from, err)
+		}
+		if b[0] == ' ' || b[0] == '\t' || b[0] == '\n' || b[0] == '\r' {
+			br.Discard(1)
+			continue
+		}
+		if b[0] != '[' {
+			return decodeAddNDJSON(br, from)
+		}
+		break
+	}
+	var raws []json.RawMessage
+	if err := json.NewDecoder(br).Decode(&raws); err != nil {
+		return nil, fmt.Errorf("decoding results from %s: %w", from, err)
+	}
+	results := make([]harness.Result, 0, len(raws))
+	for i, raw := range raws {
+		res, err := decodeResultOrRecord(raw)
+		if err != nil {
+			return nil, fmt.Errorf("entry %d from %s: %w", i+1, from, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func decodeAddNDJSON(br *bufio.Reader, from string) ([]harness.Result, error) {
+	var results []harness.Result
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 64<<10), 64<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		res, err := decodeResultOrRecord(sc.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("record %d from %s: %w", line, from, err)
+		}
+		results = append(results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading records from %s: %w", from, err)
+	}
+	return results, nil
+}
+
+// decodeResultOrRecord decodes one JSON document as either a bare
+// harness.Result or a store.Record wrapping one, distinguished by which
+// shape yields a spec name.
+func decodeResultOrRecord(raw []byte) (harness.Result, error) {
+	var res harness.Result
+	if err := json.Unmarshal(raw, &res); err == nil && res.Spec != "" {
+		return res, nil
+	}
+	var rec store.Record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return harness.Result{}, err
+	}
+	if rec.V > store.SchemaVersion {
+		return harness.Result{}, fmt.Errorf("schema v%d, this build reads up to v%d", rec.V, store.SchemaVersion)
+	}
+	if rec.Result.Spec == "" {
+		return harness.Result{}, fmt.Errorf("neither a result nor a store record")
+	}
+	return rec.Result, nil
 }
 
 // analysis is the analyze subcommand's output document.

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"energybench/internal/store"
+)
+
+func TestDecodeAddInputShapes(t *testing.T) {
+	resultJSON := `{"spec":"int-alu","component":"alu","threads":2,"placement":"none","meter":"mock","iters":1000}`
+	recordJSON := fmt.Sprintf(`{"v":%d,"key":"int-alu||t2+0|none|mock|i1000+0","saved_at":"2026-08-08T00:00:00Z","result":%s}`,
+		store.SchemaVersion, resultJSON)
+
+	cases := []struct {
+		name, in string
+		want     int
+	}{
+		{"run result array", "[" + resultJSON + "]", 1},
+		{"store query record array", "  [" + recordJSON + "," + recordJSON + "]", 2},
+		{"fleet NDJSON record stream", recordJSON + "\n" + recordJSON + "\n\n" + recordJSON + "\n", 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			results, err := decodeAddInput(strings.NewReader(tc.in), "test")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) != tc.want {
+				t.Fatalf("decoded %d results, want %d", len(results), tc.want)
+			}
+			for _, r := range results {
+				if r.Spec != "int-alu" || r.Threads != 2 {
+					t.Fatalf("decoded result %+v", r)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeAddInputRejects(t *testing.T) {
+	newer := fmt.Sprintf(`{"v":%d,"key":"k","result":{"spec":"int-alu"}}`, store.SchemaVersion+1)
+	if _, err := decodeAddInput(strings.NewReader(newer+"\n"), "test"); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("newer-schema record: err = %v", err)
+	}
+	if _, err := decodeAddInput(strings.NewReader(`{"neither":true}`+"\n"), "test"); err == nil {
+		t.Fatal("shapeless document accepted")
+	}
+	if _, err := decodeAddInput(strings.NewReader("not json\n"), "test"); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}

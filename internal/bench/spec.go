@@ -1,8 +1,3 @@
-// Package bench provides a catalog of parameterized micro-benchmark kernels
-// that stress specific microarchitectural components (integer ALUs, FP units,
-// cache levels, DRAM), following the methodology of "Systematic Energy
-// Characterization of CMP/SMT Processor Systems via Automated
-// Micro-Benchmarks" (MICRO 2012).
 package bench
 
 import "fmt"

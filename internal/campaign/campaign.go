@@ -1,10 +1,3 @@
-// Package campaign turns a whole paper-style characterization — multiple
-// exploration spaces, an executor choice, parallelism, convergence targets,
-// and an output store — into one declarative, reviewable file instead of a
-// shell script of flags. A campaign file is YAML (a small dependency-free
-// subset, see yaml.go) or JSON; both decode through the same schema with
-// unknown-key rejection, so a typo'd field fails the load rather than
-// silently running a different sweep.
 package campaign
 
 import (
@@ -94,6 +87,13 @@ type Campaign struct {
 	// CounterBackend picks the activity backend: "perf" (default when
 	// Counters is set) or "mock" for deterministic CI runs.
 	CounterBackend string `json:"counter_backend,omitempty"`
+	// Hosts restricts which fleet agents may execute this campaign's
+	// trials, matched against each agent's registered host name. Empty
+	// means any agent. The key is meaningful only when the campaign is
+	// submitted to an `energybench serve` coordinator; a local `run
+	// --campaign` rejects it so a fleet-scoped file cannot silently run
+	// on the wrong machine.
+	Hosts []string `json:"hosts,omitempty"`
 	// Spaces are the exploration spaces to sweep, in order.
 	Spaces []SpaceConfig `json:"spaces"`
 }
@@ -315,6 +315,14 @@ func (c *Campaign) Validate() error {
 	}
 	if c.Resume && c.Store == "" {
 		return fmt.Errorf("campaign: resume requires a store")
+	}
+	for _, h := range c.Hosts {
+		if strings.TrimSpace(h) == "" {
+			return fmt.Errorf("campaign: hosts entries must be non-empty host names")
+		}
+		if strings.ContainsAny(h, "|/") {
+			return fmt.Errorf("campaign: host name %q must not contain '|' or '/' (they delimit store keys)", h)
+		}
 	}
 	if _, err := c.Sampling(); err != nil {
 		return err

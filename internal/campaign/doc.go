@@ -1,0 +1,8 @@
+// Package campaign turns a whole paper-style characterization — multiple
+// exploration spaces, an executor choice, parallelism, convergence targets,
+// and an output store — into one declarative, reviewable file instead of a
+// shell script of flags. A campaign file is YAML (a small dependency-free
+// subset, see yaml.go) or JSON; both decode through the same schema with
+// unknown-key rejection, so a typo'd field fails the load rather than
+// silently running a different sweep.
+package campaign

@@ -1,0 +1,20 @@
+// Package fleet scales a characterization campaign from one machine to a
+// coordinated fleet: a long-running coordinator daemon (energybench serve)
+// plans submitted campaigns, leases trial batches to registered agent
+// daemons (energybench agent) over a versioned HTTP/JSON protocol, and
+// merges the result streams into one central store with each record stamped
+// by the host — and microarchitecture — that measured it.
+//
+// The design deliberately reuses the single-host pipeline end to end: jobs
+// are planned with the same campaign.Plan the CLI uses, agents execute
+// batches through the same Scheduler/executor stack, and results land in
+// the same store format — the fleet only adds distribution. Robustness
+// comes from leases, not sessions: every batch grant carries a deadline,
+// agents heartbeat to stay live, and an expired or orphaned lease is
+// reclaimed and its unfinished trials re-dispatched to another agent.
+// Result ingestion is idempotent (a re-run trial's second result is a
+// counted duplicate, not a corruption), and a restarted coordinator replays
+// each job's store to resume exactly where it stopped. See docs/WIRE.md for
+// the wire protocol and docs/ARCHITECTURE.md for how the fleet tier relates
+// to the in-process and subprocess execution tiers.
+package fleet

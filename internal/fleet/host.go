@@ -1,0 +1,61 @@
+package fleet
+
+import (
+	"os"
+	"runtime"
+	"strings"
+)
+
+// LocalHost builds this machine's capability advertisement: hostname, OS,
+// architecture, logical CPU count, and — on Linux — the CPU model name from
+// /proc/cpuinfo as the microarchitecture label. name, when non-empty,
+// overrides the hostname, which is how two agents on one machine (or in CI)
+// stay distinguishable.
+func LocalHost(name string) HostInfo {
+	if name == "" {
+		if hn, err := os.Hostname(); err == nil {
+			name = hn
+		} else {
+			name = "unknown"
+		}
+	}
+	return HostInfo{
+		Name:      sanitizeHostName(name),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Microarch: cpuModelName(),
+	}
+}
+
+// sanitizeHostName makes any hostname safe as a store-key dimension by
+// replacing the key delimiters '|' and '/' with '-'.
+func sanitizeHostName(name string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '|' || r == '/' {
+			return '-'
+		}
+		return r
+	}, name)
+}
+
+// cpuModelName reads the first "model name" line of /proc/cpuinfo; empty on
+// non-Linux hosts or unreadable files — the microarch dimension is then
+// simply omitted from result keys.
+func cpuModelName() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		k, v, ok := strings.Cut(line, ":")
+		if !ok || strings.TrimSpace(k) != "model name" {
+			continue
+		}
+		// The model name becomes a key field: normalize the delimiters and
+		// collapse runs of spaces so keys stay single-line and parseable.
+		m := strings.Join(strings.Fields(strings.TrimSpace(v)), " ")
+		return sanitizeHostName(m)
+	}
+	return ""
+}

@@ -1,0 +1,16 @@
+// Package harness explores a benchmark space through three layers connected
+// by small interfaces: a planner that expands a Space into an explicit
+// ordered []Trial (plan.go), an Executor that runs one trial at a time with
+// warm-up, pinning, metering, and adaptive repetitions (execute.go), and a
+// ResultSink pipeline that streams each completed configuration out as it
+// finishes (sink.go). Configurations can pair two heterogeneous specs
+// (co-runs) to measure SMT/CMP interference, the core scenario of the
+// MICRO 2012 methodology.
+//
+// Every configuration is identified by a stable key
+// (spec|specB|tN+M|placement|meter|iN+M, see plan.go) that the store layer
+// dedupes and resumes on. Fleet results carry an optional |h:host|u:microarch
+// suffix — ResultKey builds it, StripHostKey removes it — so one central
+// store can hold the same configuration measured on many machines. The full
+// key grammar is documented in docs/WIRE.md.
+package harness

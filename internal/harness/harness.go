@@ -1,11 +1,3 @@
-// Package harness explores a benchmark space through three layers connected
-// by small interfaces: a planner that expands a Space into an explicit
-// ordered []Trial (plan.go), an Executor that runs one trial at a time with
-// warm-up, pinning, metering, and adaptive repetitions (execute.go), and a
-// ResultSink pipeline that streams each completed configuration out as it
-// finishes (sink.go). Configurations can pair two heterogeneous specs
-// (co-runs) to measure SMT/CMP interference, the core scenario of the
-// MICRO 2012 methodology.
 package harness
 
 import (
@@ -191,6 +183,14 @@ type Result struct {
 	// 0 when sampling was off. The per-rep series live on the samples.
 	// Store schema v3.
 	SampleInterval time.Duration `json:"sample_interval_ns,omitempty"`
+	// Host and Microarch identify the machine that executed the trial.
+	// They are empty for single-host runs (keys and stores are then
+	// byte-identical to earlier builds) and stamped by the fleet
+	// coordinator when merging results from remote agents, making the
+	// store key three-dimensional: (host, microarch, configuration).
+	// Store schema v4.
+	Host      string `json:"host,omitempty"`
+	Microarch string `json:"microarch,omitempty"`
 }
 
 // IsCoRun reports whether the result measured two specs sharing the machine.

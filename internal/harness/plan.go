@@ -91,9 +91,34 @@ func (t Trial) Key(meterName string) string {
 }
 
 // ResultKey derives the configuration identity of a measured result: two
-// results with the same key measured the same configuration.
+// results with the same key measured the same configuration. A result
+// stamped with a host (a fleet merge) carries the host — and, when known,
+// the microarchitecture — as trailing key dimensions, so the same
+// configuration measured on two machines yields two live records instead of
+// one clobbering the other under last-wins dedup. Hostless results keep the
+// exact historical six-field key, so single-host stores are byte-identical
+// to earlier builds.
 func ResultKey(r Result) string {
-	return configKey(r.Spec, r.SpecB, r.Threads, r.ThreadsB, r.Placement, r.Meter, r.Iters, r.ItersB)
+	key := configKey(r.Spec, r.SpecB, r.Threads, r.ThreadsB, r.Placement, r.Meter, r.Iters, r.ItersB)
+	if r.Host != "" {
+		key += "|h:" + r.Host
+		if r.Microarch != "" {
+			key += "|u:" + r.Microarch
+		}
+	}
+	return key
+}
+
+// StripHostKey removes the host and microarch dimensions from a
+// configuration key, leaving the six-field single-host form. It is how
+// fleet consumers compare a merged multi-host store against single-host
+// plans: a trial is done when *some* host has measured its stripped key.
+// Keys without a host dimension pass through unchanged.
+func StripHostKey(key string) string {
+	if i := strings.Index(key, "|h:"); i >= 0 {
+		return key[:i]
+	}
+	return key
 }
 
 // KeyFields are the configuration components encoded in a key, as
@@ -107,17 +132,23 @@ type KeyFields struct {
 	Meter     string
 	Iters     int
 	ItersB    int
+	// Host and Microarch are the optional trailing fleet dimensions
+	// ("|h:host|u:microarch"); empty for single-host keys.
+	Host      string
+	Microarch string
 }
 
 // ParseKey decodes a configuration key produced by Trial.Key/ResultKey
 // back into its components, letting stores filter on spec, threads,
 // placement, and meter from their key index alone — without deserializing
-// any result. ok is false for keys in an unknown format (e.g. written by a
-// different build); callers using keys as a query pre-filter must then
-// fall back to reading the record itself.
+// any result. Six-field keys are the historical single-host form; a
+// seventh "h:host" field (and an eighth "u:microarch" field, only ever
+// after a host) carries the fleet dimensions. ok is false for keys in an
+// unknown format (e.g. written by a different build); callers using keys
+// as a query pre-filter must then fall back to reading the record itself.
 func ParseKey(key string) (KeyFields, bool) {
 	parts := strings.Split(key, "|")
-	if len(parts) != 6 {
+	if len(parts) < 6 || len(parts) > 8 {
 		return KeyFields{}, false
 	}
 	kf := KeyFields{
@@ -132,6 +163,20 @@ func ParseKey(key string) (KeyFields, bool) {
 	}
 	if kf.Iters, kf.ItersB, ok = parseKeyPair(parts[5], 'i'); !ok {
 		return KeyFields{}, false
+	}
+	if len(parts) >= 7 {
+		host, ok := strings.CutPrefix(parts[6], "h:")
+		if !ok || host == "" {
+			return KeyFields{}, false
+		}
+		kf.Host = host
+	}
+	if len(parts) == 8 {
+		uarch, ok := strings.CutPrefix(parts[7], "u:")
+		if !ok || uarch == "" {
+			return KeyFields{}, false
+		}
+		kf.Microarch = uarch
 	}
 	return kf, true
 }

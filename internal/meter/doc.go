@@ -1,0 +1,9 @@
+// Package meter abstracts energy measurement behind the EnergyMeter
+// interface. Two backends ship today: a Linux RAPL sysfs reader for real
+// hardware and a deterministic mock so tests and CI run everywhere; the
+// mock supports a planted per-kernel power model, additive noise, and a
+// time-based power schedule for phase-analysis tests. A Sampler wraps any
+// EnergyMeter to produce time-resolved power series within a trial
+// (sampler.go), which is how `run --sample-interval` captures in-trial
+// phase behavior.
+package meter

@@ -1,6 +1,3 @@
-// Package meter abstracts energy measurement behind the EnergyMeter
-// interface. Two backends ship today: a Linux RAPL sysfs reader for real
-// hardware and a deterministic mock so tests and CI run everywhere.
 package meter
 
 import (

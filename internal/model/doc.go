@@ -1,0 +1,6 @@
+// Package model decomposes measured power into the paper's linear model
+// P = P_static + Σ_c a_c · activity_c via ordinary least squares over a set
+// of micro-benchmark measurements, and derives the CMP-vs-SMT marginal
+// energy and co-run interference metrics that are the MICRO 2012 paper's
+// headline analyses.
+package model

@@ -1,7 +1,3 @@
-// Package stats aggregates repeated measurements: mean, median, standard
-// deviation, coefficient of variation, and CV-driven outlier rejection in
-// the style of the MICRO 2012 characterization methodology (repeat until the
-// sample set is stable, discard perturbed runs).
 package stats
 
 import (

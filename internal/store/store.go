@@ -1,16 +1,3 @@
-// Package store persists harness results as versioned JSONL records in one
-// of two layouts behind a single API. A plain single-file JSONL store (the
-// original format) keeps one record per line; a sharded segment store is a
-// directory of append-only segment files plus a manifest listing live
-// segments and a per-key sidecar index per segment, so key scans and point
-// lookups never deserialize the corpus. Open auto-detects the layout, and
-// Query streams deduped records — last write per configuration key wins,
-// first-appearance order is preserved — through the same iterator for both,
-// so consumers are layout-agnostic. Appending is cheap and crash-tolerant
-// (a torn final line is skipped per file/segment), runs from different
-// invocations accumulate into one dataset, and re-running a configuration
-// supersedes its old measurement. This is what turns one-shot sweeps into
-// the accumulating datasets the model-fitting layer consumes.
 package store
 
 import (
@@ -35,7 +22,14 @@ import (
 //	     per-domain µJ deltas, power, and event counts per tick), plus the
 //	     meter-window duration per sample (result.samples[i].meter_time_s).
 //	     v1/v2 records load unchanged; their samples simply have no series.
-const SchemaVersion = 3
+//	v4 — result may carry the executing machine's identity (result.host,
+//	     result.microarch), stamped by the fleet coordinator when merging
+//	     remote agents' results; the configuration key then grows trailing
+//	     "|h:host" and "|u:microarch" dimensions so the same configuration
+//	     measured on two machines stays two live records. v1–v3 records
+//	     (and any result without a host) load unchanged with their exact
+//	     six-field keys.
+const SchemaVersion = 4
 
 // maxLine bounds one JSONL record; results with many samples stay far under.
 const maxLine = 16 << 20
@@ -69,12 +63,15 @@ type Filter struct {
 	Placements []string
 	Meters     []string
 	Keys       []string
+	// Hosts selects on the executing machine stamped by a fleet merge; a
+	// single-host result (no host) matches only an empty Hosts filter.
+	Hosts []string
 }
 
 // IsZero reports whether the filter matches everything.
 func (f Filter) IsZero() bool {
 	return len(f.Specs) == 0 && len(f.Threads) == 0 && len(f.Placements) == 0 &&
-		len(f.Meters) == 0 && len(f.Keys) == 0
+		len(f.Meters) == 0 && len(f.Keys) == 0 && len(f.Hosts) == 0
 }
 
 // Match reports whether the result passes the filter.
@@ -82,7 +79,7 @@ func (f Filter) Match(r harness.Result) bool {
 	if len(f.Keys) > 0 && !containsString(f.Keys, harness.ResultKey(r)) {
 		return false
 	}
-	return f.matchFields(r.Spec, r.SpecB, r.Threads, string(r.Placement), r.Meter)
+	return f.matchFields(r.Spec, r.SpecB, r.Threads, string(r.Placement), r.Meter, r.Host)
 }
 
 // MatchKey reports whether a record stored under the given configuration
@@ -99,12 +96,12 @@ func (f Filter) MatchKey(key string) bool {
 	if !ok {
 		return true
 	}
-	return f.matchFields(kf.Spec, kf.SpecB, kf.Threads, string(kf.Placement), kf.Meter)
+	return f.matchFields(kf.Spec, kf.SpecB, kf.Threads, string(kf.Placement), kf.Meter, kf.Host)
 }
 
 // matchFields is the single filter predicate shared by Match and MatchKey,
 // so the index pre-filter can never disagree with the record-level filter.
-func (f Filter) matchFields(spec, specB string, threads int, placement, meter string) bool {
+func (f Filter) matchFields(spec, specB string, threads int, placement, meter, host string) bool {
 	if len(f.Specs) > 0 {
 		ok := false
 		for _, s := range f.Specs {
@@ -133,6 +130,9 @@ func (f Filter) matchFields(spec, specB string, threads int, placement, meter st
 		return false
 	}
 	if len(f.Meters) > 0 && !containsString(f.Meters, meter) {
+		return false
+	}
+	if len(f.Hosts) > 0 && !containsString(f.Hosts, host) {
 		return false
 	}
 	return true

@@ -1,0 +1,79 @@
+#!/bin/sh
+# Fleet smoke: the distributed tier end to end, on one machine.
+#
+# A coordinator (`energybench serve`) and two local agents run the same
+# checked-in campaign the single-host CI smoke uses (testdata/smoke.yaml).
+# The acceptance criterion is exactness, not just liveness: the merged
+# fleet store's key set, with the |h:host|u:microarch suffix stripped,
+# must equal the key set a serial single-host run of the same campaign
+# produces — no trial lost, none duplicated, none invented. The job's
+# dispatch-latency stats are published as BENCH_fleet.json.
+#
+# Run from the repo root after `go build -o bin/energybench ./cmd/energybench`
+# (or via `make smoke-fleet`, which builds first).
+set -eu
+
+BIN=${BIN:-./bin/energybench}
+SCRATCH=.scratch
+FLEET=$SCRATCH/fleet
+rm -rf "$FLEET"
+mkdir -p "$FLEET"
+
+# Serial reference leg: the same campaign, one host, no fleet. Its store
+# path is fixed by the campaign file (.scratch/smoke-results.jsonl); remove
+# any previous run so resume can't skew the reference key set.
+rm -f "$SCRATCH/smoke-results.jsonl"
+"$BIN" run --campaign testdata/smoke.yaml > /dev/null
+"$BIN" store query --db="$SCRATCH/smoke-results.jsonl" --keys > "$FLEET/serial-keys.json"
+
+COORD_PID=
+AGENT_A=
+AGENT_B=
+cleanup() {
+	for pid in $COORD_PID $AGENT_A $AGENT_B; do
+		kill "$pid" 2>/dev/null || true
+	done
+}
+trap cleanup EXIT INT TERM
+
+# Coordinator on an ephemeral port; --addr-file tells us where it landed.
+"$BIN" serve --listen=127.0.0.1:0 --data="$FLEET/coord" \
+	--addr-file="$FLEET/addr" --lease-ttl=15s --batch=3 \
+	2> "$FLEET/coord.log" &
+COORD_PID=$!
+i=0
+while [ ! -s "$FLEET/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "coordinator never wrote $FLEET/addr" >&2
+		cat "$FLEET/coord.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+URL=$(cat "$FLEET/addr")
+echo "fleet smoke: coordinator at $URL"
+
+# Two agents under distinct host names, polling fast so the smoke is quick.
+# --cpus=8 overrides the detected CPU count so the campaign's widest trials
+# (the 2+2-thread co-run) stay routable even on a small CI runner.
+"$BIN" agent --coordinator="$URL" --name=fleet-a --poll=100ms --cpus=8 2> "$FLEET/agent-a.log" &
+AGENT_A=$!
+"$BIN" agent --coordinator="$URL" --name=fleet-b --poll=100ms --cpus=8 2> "$FLEET/agent-b.log" &
+AGENT_B=$!
+
+# Submit the campaign and block until the job finishes (submit exits
+# non-zero if any trial permanently failed or the planner errored).
+"$BIN" submit --coordinator="$URL" --campaign testdata/smoke.yaml \
+	--wait --timeout=120s > "$FLEET/status.json" || {
+	echo "fleet job failed; coordinator log:" >&2
+	cat "$FLEET/coord.log" >&2
+	exit 1
+}
+
+# The merged store is the job's store under the coordinator's data dir.
+"$BIN" store query --db="$FLEET/coord/jobs/j0001/store" --keys > "$FLEET/fleet-keys.json"
+
+python3 scripts/fleet_smoke_check.py \
+	"$FLEET/fleet-keys.json" "$FLEET/serial-keys.json" "$FLEET/status.json" \
+	BENCH_fleet.json

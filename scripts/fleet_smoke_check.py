@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Acceptance checks for the fleet smoke (scripts/fleet_smoke.sh).
+
+Usage: fleet_smoke_check.py FLEET_KEYS.json SERIAL_KEYS.json STATUS.json OUT.json
+
+Asserts that the coordinator's merged store covers exactly the key set a
+serial single-host run of the same campaign produces (after stripping the
+fleet store's |h:host|u:microarch key suffix), that the job finished with
+zero failed trials, and writes the job's dispatch-latency stats to OUT.json
+(the BENCH_fleet.json artifact CI publishes).
+"""
+
+import json
+import sys
+
+
+def strip_host(key: str) -> str:
+    """Drop the optional |h:host|u:microarch tail of a configuration key."""
+    return key.split("|h:", 1)[0]
+
+
+def main() -> None:
+    fleet_keys_path, serial_keys_path, status_path, out_path = sys.argv[1:5]
+    fleet_keys = json.load(open(fleet_keys_path))
+    serial_keys = json.load(open(serial_keys_path))
+    status = json.load(open(status_path))
+
+    stripped = sorted({strip_host(k) for k in fleet_keys})
+    serial = sorted(serial_keys)
+    if stripped != serial:
+        missing = sorted(set(serial) - set(stripped))
+        extra = sorted(set(stripped) - set(serial))
+        raise AssertionError(
+            f"fleet key set != serial key set: missing={missing} extra={extra}"
+        )
+
+    hosts = sorted(
+        {k.split("|h:", 1)[1].split("|", 1)[0] for k in fleet_keys if "|h:" in k}
+    )
+    assert hosts, "no host-stamped keys in the fleet store"
+    assert status["finished"], f"job not finished: {status}"
+    assert status["failed"] == 0, f"job has failed trials: {status.get('failures')}"
+    assert status["done"] == status["trials"], status
+    assert status["trials"] == len(serial), (
+        f"planned {status['trials']} trials but serial run stored {len(serial)} keys"
+    )
+
+    doc = {
+        "trials": status["trials"],
+        "unique_keys": len(fleet_keys),
+        "hosts": hosts,
+        "batches": status.get("batches", 0),
+        "redispatched": status.get("redispatched", 0),
+        "duplicates": status.get("duplicates", 0),
+        "dispatch_mean_ms": status.get("dispatch_mean_ms", 0.0),
+        "dispatch_max_ms": status.get("dispatch_max_ms", 0.0),
+    }
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(
+        f"fleet smoke OK: {doc['trials']} trials over hosts {hosts} in "
+        f"{doc['batches']} batches, dispatch mean {doc['dispatch_mean_ms']:.1f} ms "
+        f"(max {doc['dispatch_max_ms']:.1f} ms); wrote {out_path}"
+    )
+
+
+if __name__ == "__main__":
+    main()
