@@ -9,13 +9,13 @@ COVER_FLOOR := 70
 # clean.
 SCRATCH := .scratch
 
-.PHONY: all ci build test lint staticcheck cover fuzz bench bench-json bench-store smoke smoke-sampling smoke-planner smoke-fleet docs-check clean
+.PHONY: all ci build test lint staticcheck cover fuzz bench bench-json bench-store smoke smoke-sampling smoke-planner smoke-fleet smoke-extern docs-check clean
 
 all: lint build test
 
 # ci runs the same gates as the GitHub workflow; it must finish with a clean
 # working tree (all droppings confined to $(SCRATCH)/ and other ignored paths).
-ci: lint staticcheck docs-check build test fuzz cover smoke smoke-sampling smoke-planner smoke-fleet
+ci: lint staticcheck docs-check build test fuzz cover smoke smoke-sampling smoke-planner smoke-fleet smoke-extern
 	@dirty=$$(git status --porcelain); if [ -n "$$dirty" ]; then \
 		echo "make ci left the tree dirty:" >&2; echo "$$dirty" >&2; exit 1; fi
 	@echo "ci OK (tree clean)"
@@ -114,6 +114,19 @@ smoke-planner: build
 	./bin/energybench analyze --db=$(SCRATCH)/planner-all.jsonl > $(SCRATCH)/planner-all-analysis.json
 	python3 scripts/planner_smoke_check.py $(SCRATCH)/planner-report.json $(SCRATCH)/planner-all-analysis.json BENCH_planner.json
 
+# The CI extern smoke: fit the model on kernels against a planted mock
+# model, run the bundled externstress binary as an external workload under
+# the same meter (built into $(SCRATCH) by the campaign's build step), then
+# analyze with --validate --roofline. scripts/extern_smoke_check.py asserts
+# aggregate MAPE < 5% and writes BENCH_extern.json (the artifact CI
+# publishes).
+smoke-extern: build
+	@mkdir -p $(SCRATCH)
+	rm -f $(SCRATCH)/extern-smoke.jsonl
+	./bin/energybench run --campaign testdata/extern-smoke.yaml --progress > /dev/null
+	./bin/energybench analyze --db=$(SCRATCH)/extern-smoke.jsonl --validate --roofline > $(SCRATCH)/extern-analysis.json
+	python3 scripts/extern_smoke_check.py $(SCRATCH)/extern-analysis.json BENCH_extern.json
+
 # The CI fleet smoke: a coordinator plus two local agents run the same
 # campaign the single-host smoke uses, and the merged store's key set
 # (host-stripped) must equal the serial run's key set exactly. Assertions
@@ -132,4 +145,4 @@ docs-check:
 	@echo "docs-check OK (every internal package has a doc.go)"
 
 clean:
-	rm -rf bin $(SCRATCH) cover.out BENCH_kernels.json BENCH_store.json BENCH_sampling.json BENCH_planner.json BENCH_fleet.json scale-store smoke-results.jsonl counter-smoke.jsonl counter-analysis.json
+	rm -rf bin $(SCRATCH) cover.out BENCH_kernels.json BENCH_store.json BENCH_sampling.json BENCH_planner.json BENCH_fleet.json BENCH_extern.json scale-store smoke-results.jsonl counter-smoke.jsonl counter-analysis.json

@@ -31,7 +31,7 @@ func filterFlags(fs *flag.FlagSet) func() (store.Filter, error) {
 	threads := fs.String("threads", "", "comma-separated thread counts to keep")
 	placement := fs.String("placement", "", "comma-separated placements to keep")
 	var where whereList
-	fs.Var(&where, "where", "comma-separated field=value filter pairs (spec|threads|placement|meter|host|key); repeatable, same-field values OR together")
+	fs.Var(&where, "where", "comma-separated field=value filter pairs (spec|threads|placement|meter|host|workload|key); repeatable, same-field values OR together")
 	return func() (store.Filter, error) {
 		f := store.Filter{
 			Specs:      splitNonEmpty(*specs),
@@ -85,10 +85,12 @@ func applyWhere(f *store.Filter, clause string) error {
 			f.Meters = append(f.Meters, value)
 		case "host":
 			f.Hosts = append(f.Hosts, value)
+		case "workload":
+			f.Workloads = append(f.Workloads, value)
 		case "key":
 			f.Keys = append(f.Keys, value)
 		default:
-			return fmt.Errorf("unknown field %q (want spec|threads|placement|meter|host|key)", field)
+			return fmt.Errorf("unknown field %q (want spec|threads|placement|meter|host|workload|key)", field)
 		}
 	}
 	return nil

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"energybench/internal/campaign"
+	"energybench/internal/extwork"
 	"energybench/internal/fleet"
 	"energybench/internal/harness"
 )
@@ -151,6 +152,12 @@ func localBatchRunner(logf func(string, ...any)) fleet.BatchRunner {
 			exec = e
 		} else {
 			for i := range b.Trials {
+				// Extern trials name a workload, not a catalog kernel — the
+				// extern executor runs their child process directly, so there
+				// is nothing to graft.
+				if b.Trials[i].Extern != nil {
+					continue
+				}
 				if err := graftKernel(&b.Trials[i].Spec); err != nil {
 					return err
 				}
@@ -166,6 +173,15 @@ func localBatchRunner(logf func(string, ...any)) fleet.BatchRunner {
 			}
 			exec = &harness.InProcess{Meter: m}
 		}
+		if hasExternTrials(b.Trials) {
+			// External workloads are always metered from the agent process
+			// itself, whichever executor runs the kernel trials.
+			m, err := newMeter(ec.Meter, ec.MockWatts, "", ec.MockModel, ec.MockNoiseW)
+			if err != nil {
+				return err
+			}
+			exec = &extwork.ExternExecutor{Meter: m, Fallback: exec, Timeout: ec.TrialTimeout, Log: logf}
+		}
 		sched := &harness.Scheduler{Executor: exec, Parallel: ec.Parallel, Log: logf}
 		return sched.RunPlan(ctx, b.Trials, sink)
 	})
@@ -180,6 +196,8 @@ func cmdSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		coordURL = fs.String("coordinator", "", "coordinator base URL (required)")
 		path     = fs.String("campaign", "", "campaign file to submit (YAML or JSON; required)")
 		wait     = fs.Bool("wait", false, "poll the job until it finishes and print the final status")
+		analyze  = fs.Bool("analyze", false, "after the job finishes, fetch and print its analysis report instead of the raw status (implies --wait)")
+		activity = fs.String("activity", "", "activity source for --analyze: nominal (default) or counters")
 		timeout  = fs.Duration("timeout", 0, "give up waiting after this long (0: no limit; requires --wait)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -187,6 +205,12 @@ func cmdSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	}
 	if *coordURL == "" || *path == "" {
 		return fmt.Errorf("--coordinator and --campaign are required")
+	}
+	if *analyze {
+		*wait = true
+	}
+	if *activity != "" && !*analyze {
+		return fmt.Errorf("--activity requires --analyze")
 	}
 	if *timeout != 0 && !*wait {
 		return fmt.Errorf("--timeout requires --wait")
@@ -224,7 +248,14 @@ func cmdSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) err
 			return err
 		}
 		if st.Finished {
-			if err := writeJSON(stdout, st); err != nil {
+			if *analyze {
+				// The status document still lands on stderr so failures stay
+				// visible; stdout carries the analysis JSON alone, pipeable.
+				fmt.Fprintf(stderr, "job %s finished: %d/%d done, %d failed\n", st.ID, st.Done, st.Trials, st.Failed)
+				if err := fetchJobAnalysis(ctx, client, base, sub.JobID, *activity, stdout); err != nil {
+					return err
+				}
+			} else if err := writeJSON(stdout, st); err != nil {
 				return err
 			}
 			if st.PlannerErr != "" {
@@ -241,6 +272,29 @@ func cmdSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		case <-time.After(500 * time.Millisecond):
 		}
 	}
+}
+
+// fetchJobAnalysis retrieves the coordinator's analysis report for a finished
+// job — the same document a local `analyze` over the downloaded store would
+// produce — and writes it to out verbatim.
+func fetchJobAnalysis(ctx context.Context, client *http.Client, base, id, activity string, out io.Writer) error {
+	url := base + "/jobs/" + id + "/analyze"
+	if activity != "" {
+		url += "?activity=" + activity
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	var rep json.RawMessage
+	if err := doJSON(client, req, &rep); err != nil {
+		return fmt.Errorf("fetching job %s analysis: %w", id, err)
+	}
+	var pretty any
+	if err := json.Unmarshal(rep, &pretty); err != nil {
+		return err
+	}
+	return writeJSON(out, pretty)
 }
 
 func fetchJobStatus(ctx context.Context, client *http.Client, base, id string) (fleet.JobStatus, error) {

@@ -30,6 +30,7 @@ import (
 	"energybench/internal/adapt"
 	"energybench/internal/bench"
 	"energybench/internal/campaign"
+	"energybench/internal/extwork"
 	"energybench/internal/harness"
 	"energybench/internal/model"
 	"energybench/internal/perf"
@@ -120,9 +121,11 @@ space flags (run, and list for sizing a sweep):
 
 run flags:
   --campaign=FILE     run a declarative campaign file (YAML or JSON) naming
-                      spaces, executor, parallelism, and store; exclusive
-                      with the space/meter/store flags (--dry-run and
-                      --progress still apply)
+                      spaces, executor, parallelism, and store — plus
+                      'workloads:' entries that run real external programs
+                      as metered regions (see testdata/extern.yaml);
+                      exclusive with the space/meter/store flags (--dry-run
+                      and --progress still apply)
   --meter=mock|rapl   energy backend (default mock; rapl needs /sys/class/powercap read access)
   --mock-watts=N      constant power the mock meter models (default 42)
   --mock-schedule=S   piecewise-constant mock power schedule 'atS:watts,...'
@@ -187,8 +190,9 @@ store flags:
   --shard             (compact) convert a single-file store to the sharded
                       segment layout in place, compacting as it goes
   --records=N         (bench) synthetic corpus size, duplicates included (default 50000)
-  --where f=v,...     filter: spec|threads|placement|meter|key pairs;
-                      repeatable, same-field values OR, distinct fields AND
+  --where f=v,...     filter: spec|threads|placement|meter|host|workload|key
+                      pairs; repeatable, same-field values OR, distinct
+                      fields AND
   --specs, --threads, --placement   legacy spellings of the same filters
   legacy flag form:   --add=FILE appends, --compact rewrites deduplicated,
                       filters alone list matching records
@@ -216,6 +220,10 @@ fleet flags (see docs/ARCHITECTURE.md and docs/WIRE.md):
   --campaign=FILE     campaign file to submit (required); a 'hosts:' list in
                       the file restricts which agents may execute it
   --wait              poll until the job finishes, print the final status JSON
+  --analyze           after the job finishes, fetch GET /jobs/{id}/analyze and
+                      print the analysis report instead of the raw status
+                      (implies --wait)
+  --activity=SRC      activity source forwarded to --analyze (nominal|counters)
   --timeout=D         give up waiting after this long (requires --wait)
 
 analyze / compare flags:
@@ -228,7 +236,15 @@ analyze / compare flags:
   --phases            (analyze) segment stored time-resolved series into power
                       phases (change-point detection with per-phase error
                       bars) and flag sustained power declines (throttling);
-                      needs a store written by 'run --sample-interval'`)
+                      needs a store written by 'run --sample-interval'
+  --validate          (analyze) compare the fitted model's predictions against
+                      stored external-workload measurements (per-workload
+                      power/energy error plus aggregate MAPE); fails when the
+                      store holds no workload results. Workload sections also
+                      appear automatically whenever workload results exist
+  --roofline          (analyze) place stored external workloads on the
+                      roofline derived from the chase kernels' measured
+                      bandwidth ceilings (needs a store with counters)`)
 }
 
 // spaceFlags registers the exploration-space flags shared by run and list,
@@ -602,13 +618,20 @@ func executeSweep(ctx context.Context, cfg sweepConfig, stdout, stderr io.Writer
 		// Probe the meter once up front so a systematically broken backend
 		// (e.g. rapl without powercap read access) fails fast, instead of
 		// spawning one doomed worker per trial and reporting the same
-		// error hundreds of times.
-		if _, err := newMeter(cfg.meterName, cfg.mockWatts, cfg.mockSchedule, cfg.mockModel, cfg.mockNoise); err != nil {
-			return err
-		}
-		exec, err := newSubprocessExecutor(cfg.meterName, cfg.mockWatts, cfg.mockSchedule, cfg.mockModel, cfg.mockNoise, cfg.timeout)
+		// error hundreds of times. The probe instance doubles as the
+		// parent-side meter external workloads are measured with: their
+		// children are metered from this process, not from a worker.
+		m, err := newMeter(cfg.meterName, cfg.mockWatts, cfg.mockSchedule, cfg.mockModel, cfg.mockNoise)
 		if err != nil {
 			return err
+		}
+		subExec, err := newSubprocessExecutor(cfg.meterName, cfg.mockWatts, cfg.mockSchedule, cfg.mockModel, cfg.mockNoise, cfg.timeout)
+		if err != nil {
+			return err
+		}
+		var exec harness.Executor = subExec
+		if hasExternTrials(trials) {
+			exec = &extwork.ExternExecutor{Meter: m, Fallback: subExec, Timeout: cfg.timeout, Log: log}
 		}
 		dispatch = &harness.Scheduler{Executor: exec, Parallel: cfg.parallel, Log: log}
 	} else {
@@ -616,7 +639,11 @@ func executeSweep(ctx context.Context, cfg sweepConfig, stdout, stderr io.Writer
 		if err != nil {
 			return err
 		}
-		dispatch = &harness.Runner{Meter: m, Log: log}
+		var exec harness.Executor = &harness.InProcess{Meter: m}
+		if hasExternTrials(trials) {
+			exec = &extwork.ExternExecutor{Meter: m, Fallback: exec, Timeout: cfg.timeout, Log: log}
+		}
+		dispatch = &harness.Runner{Executor: exec, Log: log}
 	}
 
 	var runErr error
@@ -639,6 +666,17 @@ func executeSweep(ctx context.Context, cfg sweepConfig, stdout, stderr io.Writer
 		fmt.Fprintf(stderr, "stored %d results in %s\n", storeSink.Count(), cfg.storePath)
 	}
 	return runErr
+}
+
+// hasExternTrials reports whether any planned trial runs an external
+// workload; only those sweeps pay for the extern executor wrapper.
+func hasExternTrials(trials []harness.Trial) bool {
+	for _, t := range trials {
+		if t.Extern != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // loadPriorResults reads the already-stored results of a resumed adaptive
@@ -910,18 +948,6 @@ func decodeResultOrRecord(raw []byte) (harness.Result, error) {
 	return rec.Result, nil
 }
 
-// analysis is the analyze subcommand's output document.
-type analysis struct {
-	SchemaVersion int    `json:"schema_version"`
-	Activity      string `json:"activity"`
-	Observations  int    `json:"observations"`
-	// SkippedNoCounters counts stored results dropped from a counter-based
-	// fit because they carry no measured activity vector.
-	SkippedNoCounters int              `json:"skipped_no_counters,omitempty"`
-	Fit               *model.Fit       `json:"fit"`
-	Marginals         []model.Marginal `json:"marginals"`
-}
-
 func cmdAnalyze(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -930,9 +956,16 @@ func cmdAnalyze(args []string, stdout, stderr io.Writer) error {
 		"activity source for the fit: nominal (thread counts) or counters (measured event rates)")
 	phases := fs.Bool("phases", false,
 		"segment stored time-resolved series into power phases and detect throttling instead of fitting the model")
+	validate := fs.Bool("validate", false,
+		"validate the fit against stored external-workload results (predicted vs measured power/energy); fails when the store holds none")
+	roofline := fs.Bool("roofline", false,
+		"place stored external-workload results on the roofline derived from the chase kernels; fails when that is impossible")
 	filter := filterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *phases && (*validate || *roofline) {
+		return fmt.Errorf("--phases is exclusive with --validate/--roofline")
 	}
 	results, err := queryFiltered(*db, filter)
 	if err != nil {
@@ -941,33 +974,18 @@ func cmdAnalyze(args []string, stdout, stderr io.Writer) error {
 	if *phases {
 		return analyzePhases(results, stdout, stderr)
 	}
-	var obs []model.Observation
-	skipped := 0
-	switch *activity {
-	case model.ActivityNominal:
-		obs = model.FromResults(results)
-	case model.ActivityCounters:
-		if obs, skipped, err = model.FromResultsCounters(results); err != nil {
-			return err
-		}
-		if skipped > 0 {
-			fmt.Fprintf(stderr, "analyze: skipped %d stored results without counters\n", skipped)
-		}
-	default:
-		return fmt.Errorf("--activity=%q: want %s|%s", *activity, model.ActivityNominal, model.ActivityCounters)
-	}
-	fit, err := model.FitPower(obs)
+	rep, err := model.BuildReport(results, model.ReportOptions{
+		Activity: *activity,
+		Validate: *validate,
+		Roofline: *roofline,
+	})
 	if err != nil {
 		return err
 	}
-	return writeJSON(stdout, analysis{
-		SchemaVersion:     store.SchemaVersion,
-		Activity:          *activity,
-		Observations:      len(obs),
-		SkippedNoCounters: skipped,
-		Fit:               fit,
-		Marginals:         model.Marginals(results),
-	})
+	if rep.SkippedNoCounters > 0 {
+		fmt.Fprintf(stderr, "analyze: skipped %d stored results without counters\n", rep.SkippedNoCounters)
+	}
+	return writeJSON(stdout, rep)
 }
 
 // phaseReport is the per-repetition phase/throttle analysis of one stored

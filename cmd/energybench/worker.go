@@ -93,6 +93,12 @@ func runWorkerTrial(ctx context.Context, meterName string, mockWatts float64, mo
 	if err := json.NewDecoder(stdin).Decode(&t); err != nil {
 		return harness.Result{}, fmt.Errorf("decoding trial from stdin: %w", err)
 	}
+	// External workloads are run and metered by the parent's extern
+	// executor, which only delegates kernel trials to worker children;
+	// an extern trial arriving here means a mis-wired dispatcher.
+	if t.Extern != nil {
+		return harness.Result{}, fmt.Errorf("trial runs external workload %q: extern trials are executed by the parent process, not worker children", t.Extern.Workload)
+	}
 	// Kernels are function pointers and don't survive serialization; graft
 	// them back from the catalog by spec name.
 	if err := graftKernel(&t.Spec); err != nil {

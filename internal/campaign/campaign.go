@@ -10,6 +10,7 @@ import (
 
 	"energybench/internal/adapt"
 	"energybench/internal/bench"
+	"energybench/internal/extwork"
 	"energybench/internal/harness"
 	"energybench/internal/meter"
 	"energybench/internal/perf"
@@ -96,6 +97,12 @@ type Campaign struct {
 	Hosts []string `json:"hosts,omitempty"`
 	// Spaces are the exploration spaces to sweep, in order.
 	Spaces []SpaceConfig `json:"spaces"`
+	// Workloads are external applications to run as metered regions after
+	// the kernel spaces, each expanded over its own threads × placements
+	// grid (internal/extwork). A campaign may declare workloads alone
+	// (validation-only runs against an existing fitted store) or alongside
+	// spaces (fit and validate in one sweep).
+	Workloads []extwork.Workload `json:"workloads,omitempty"`
 }
 
 // SpaceConfig is the declarative form of one harness.Space. Optional fields
@@ -330,8 +337,8 @@ func (c *Campaign) Validate() error {
 	if _, err := c.CounterSpec(); err != nil {
 		return err
 	}
-	if len(c.Spaces) == 0 {
-		return fmt.Errorf("campaign: no spaces declared")
+	if len(c.Spaces) == 0 && len(c.Workloads) == 0 {
+		return fmt.Errorf("campaign: no spaces or workloads declared")
 	}
 	for i := range c.Spaces {
 		space, err := c.Spaces[i].Space()
@@ -341,6 +348,23 @@ func (c *Campaign) Validate() error {
 		if err != nil {
 			return fmt.Errorf("campaign: space %s: %w", c.Spaces[i].label(i), err)
 		}
+	}
+	if len(c.Workloads) > 0 && c.Algo != "" && c.Algo != adapt.AlgoAll {
+		// Adaptive planners search the kernel configuration space; external
+		// workloads are validation targets, not fit observations, so an
+		// adaptive campaign cannot decide when a workload is "worth" running.
+		return fmt.Errorf("campaign: workloads require algo all (adaptive planners search the kernel space only)")
+	}
+	seen := map[string]bool{}
+	for i := range c.Workloads {
+		w := &c.Workloads[i]
+		if err := w.Validate(); err != nil {
+			return fmt.Errorf("campaign: workload #%d: %w", i+1, err)
+		}
+		if seen[w.Name] {
+			return fmt.Errorf("campaign: duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
 	}
 	return nil
 }
@@ -523,9 +547,10 @@ func (sc *SpaceConfig) Space() (harness.Space, error) {
 }
 
 // Plan expands every space in declaration order into one combined trial
-// list, re-sequencing Seq across space boundaries so the campaign reads as
-// a single plan to schedulers, dry runs, and progress logs. The campaign's
-// counter spec (when any) applies to every space.
+// list — kernel spaces first, then external workloads — re-sequencing Seq
+// across boundaries so the campaign reads as a single plan to schedulers,
+// dry runs, and progress logs. The campaign's counter spec (when any)
+// applies to every space and workload.
 func (c *Campaign) Plan() ([]harness.Trial, error) {
 	counters, err := c.CounterSpec()
 	if err != nil {
@@ -546,6 +571,16 @@ func (c *Campaign) Plan() ([]harness.Trial, error) {
 		trials, err := harness.Plan(space)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: space %s: %w", c.Spaces[i].label(i), err)
+		}
+		for _, t := range trials {
+			t.Seq = len(all)
+			all = append(all, t)
+		}
+	}
+	for i := range c.Workloads {
+		trials, err := c.Workloads[i].Trials(counters)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: workload #%d: %w", i+1, err)
 		}
 		for _, t := range trials {
 			t.Seq = len(all)

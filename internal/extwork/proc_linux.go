@@ -1,0 +1,55 @@
+//go:build linux
+
+package extwork
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"syscall"
+	"unsafe"
+)
+
+// stopProcess freezes a just-started child with SIGSTOP so affinity and
+// counter attachment happen before it does any real work; SIGSTOP cannot be
+// caught or ignored, so the freeze is unconditional.
+func stopProcess(pid int) error { return syscall.Kill(pid, syscall.SIGSTOP) }
+
+// contProcess resumes a frozen child.
+func contProcess(pid int) error { return syscall.Kill(pid, syscall.SIGCONT) }
+
+// listTasks enumerates the process's kernel tasks (TIDs) from procfs.
+func listTasks(pid int) ([]int, error) {
+	ents, err := os.ReadDir(fmt.Sprintf("/proc/%d/task", pid))
+	if err != nil {
+		return nil, err
+	}
+	var tids []int
+	for _, e := range ents {
+		if tid, err := strconv.Atoi(e.Name()); err == nil {
+			tids = append(tids, tid)
+		}
+	}
+	return tids, nil
+}
+
+// setProcAffinity pins the child's main task to the union of the trial's
+// CPUs via raw sched_setaffinity. Threads the child spawns afterwards
+// inherit the mask, so the whole process stays inside the trial's CPU lease
+// — taskset-style union affinity, since an opaque binary's threads cannot
+// be pinned individually.
+func setProcAffinity(pid int, cpus []int) error {
+	var mask [16]uint64 // 1024 CPUs
+	for _, c := range cpus {
+		if c < 0 || c >= len(mask)*64 {
+			return fmt.Errorf("extwork: cpu %d outside the affinity mask", c)
+		}
+		mask[c/64] |= 1 << (uint(c) % 64)
+	}
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		uintptr(pid), uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return fmt.Errorf("extwork: sched_setaffinity(%d, %v): %w", pid, cpus, errno)
+	}
+	return nil
+}

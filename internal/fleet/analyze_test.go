@@ -1,0 +1,167 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// externTestCampaign adds an external workload to the kernel grid: the
+// planted fake-runner power law (10 + 2.5·threads) makes the fit exact, so
+// the workload's measured power equals its prediction and the validation
+// MAPE must come out ~0.
+const externTestCampaign = `{
+  "name": "fleet-extern-test",
+  "meter": "mock",
+  "mock_watts": 35,
+  "executor": "inprocess",
+  "spaces": [
+    {"specs": ["int-alu", "chase-l1"], "threads": [1, 2], "reps": 1, "warmup": 0}
+  ],
+  "workloads": [
+    {"name": "wl", "exec": ["./wl"], "components": {"int-alu": 1}, "threads": [1]}
+  ]
+}`
+
+// externEnvelopesFor is envelopesFor with the extern result fields filled
+// in, so the synthesized results keep their "|w:" keys and validation
+// inputs.
+func externEnvelopesFor(b *Batch) []ResultEnvelope {
+	var envs []ResultEnvelope
+	for _, t := range b.Trials {
+		r := fakeResult(t, b.Exec.Meter)
+		if t.Extern != nil {
+			r.Workload = t.Extern.Workload
+			r.WorkloadComponents = t.Extern.Components
+		}
+		envs = append(envs, ResultEnvelope{
+			V: ProtocolVersion, JobID: b.JobID, BatchID: b.BatchID,
+			Seq: t.Seq, Key: t.Key(b.Exec.Meter), Result: &r,
+		})
+	}
+	return envs
+}
+
+// analyzeReport mirrors the JSON shape model.BuildReport serves.
+type analyzeReport struct {
+	SchemaVersion int `json:"schema_version"`
+	Observations  int `json:"observations"`
+	Fit           *struct {
+		PStaticW float64            `json:"p_static_w"`
+		CoeffW   map[string]float64 `json:"coeff_w_per_thread"`
+	} `json:"fit"`
+	Validation *struct {
+		Predicted int     `json:"predicted"`
+		Failed    int     `json:"failed"`
+		MAPEPct   float64 `json:"mape_pct"`
+	} `json:"validation"`
+	Roofline *struct {
+		Points []struct {
+			Workload string `json:"workload"`
+			Error    string `json:"error"`
+		} `json:"points"`
+	} `json:"roofline"`
+}
+
+func getAnalyze(t *testing.T, url string) (int, analyzeReport, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf [1 << 20]byte
+	n, _ := resp.Body.Read(buf[:])
+	var rep analyzeReport
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf[:n], &rep); err != nil {
+			t.Fatalf("decoding analyze body: %v\n%s", err, buf[:n])
+		}
+	}
+	return resp.StatusCode, rep, append([]byte(nil), buf[:n]...)
+}
+
+// TestHTTPAnalyzeEndpoint drives a workload-bearing job through the
+// coordinator and asserts GET /jobs/{id}/analyze serves the full report:
+// fit over the kernel grid, validation of the external workload against it,
+// and the roofline section with the workload's (counter-less) point.
+func TestHTTPAnalyzeEndpoint(t *testing.T) {
+	c, srv := newTestServer(t)
+	sub := mustSubmit(t, c, externTestCampaign)
+	if sub.Trials != 5 {
+		t.Fatalf("submitted %d trials, want 4 kernel + 1 extern", sub.Trials)
+	}
+	agentID := mustRegister(t, c, "host-a")
+	for {
+		b, err := c.Lease(agentID, 0)
+		if err != nil {
+			t.Fatalf("Lease: %v", err)
+		}
+		if b == nil {
+			break
+		}
+		for _, env := range externEnvelopesFor(b) {
+			if st, err := c.Ingest(agentID, env); err != nil || st != ingestAccepted {
+				t.Fatalf("Ingest seq %d: status %v, err %v", env.Seq, st, err)
+			}
+		}
+	}
+
+	code, rep, body := getAnalyze(t, srv.URL+"/jobs/"+sub.JobID+"/analyze")
+	if code != http.StatusOK {
+		t.Fatalf("analyze: HTTP %d, body %s", code, body)
+	}
+	if rep.Fit == nil || rep.Observations != 4 {
+		t.Fatalf("report fit/observations = %v/%d, want a fit over the 4 kernel results", rep.Fit, rep.Observations)
+	}
+	// The fake runner's law is 10 + 2.5·threads on every spec.
+	if d := rep.Fit.PStaticW - 10; d > 0.01 || d < -0.01 {
+		t.Errorf("P_static = %.3f, want ~10", rep.Fit.PStaticW)
+	}
+	if rep.Validation == nil {
+		t.Fatal("workload job's report carries no validation section")
+	}
+	if rep.Validation.Predicted != 1 || rep.Validation.Failed != 0 || rep.Validation.MAPEPct > 0.1 {
+		t.Errorf("validation = %+v, want 1 exact prediction", rep.Validation)
+	}
+	// The fake results carry no counters, so the roofline keeps the point
+	// with an explanatory error instead of dropping it.
+	if rep.Roofline == nil || len(rep.Roofline.Points) != 1 {
+		t.Fatalf("roofline = %+v, want 1 point", rep.Roofline)
+	}
+	if p := rep.Roofline.Points[0]; p.Workload != "wl" || p.Error == "" {
+		t.Errorf("roofline point = %+v, want wl with a no-counters error", p)
+	}
+
+	// Bad boolean query values are 400s, not silent defaults.
+	if code, _, body := getAnalyze(t, srv.URL+"/jobs/"+sub.JobID+"/analyze?validate=maybe"); code != http.StatusBadRequest {
+		t.Errorf("validate=maybe: HTTP %d, body %s", code, body)
+	}
+	// Unknown jobs are 404s.
+	if code, _, _ := getAnalyze(t, srv.URL+"/jobs/j9999/analyze"); code != http.StatusNotFound {
+		t.Errorf("unknown job: HTTP %d", code)
+	}
+}
+
+// TestHTTPAnalyzeKernelOnlyJob pins the workload-less behavior: the report
+// omits validation/roofline by default, and forcing them via query
+// parameters turns the missing sections into a 400.
+func TestHTTPAnalyzeKernelOnlyJob(t *testing.T) {
+	c, srv := newTestServer(t)
+	sub := mustSubmit(t, c, testCampaign)
+	agentID := mustRegister(t, c, "host-a")
+	drainJob(t, c, agentID)
+
+	code, rep, body := getAnalyze(t, srv.URL+"/jobs/"+sub.JobID+"/analyze")
+	if code != http.StatusOK || rep.Fit == nil {
+		t.Fatalf("analyze: HTTP %d, body %s", code, body)
+	}
+	if rep.Validation != nil || rep.Roofline != nil {
+		t.Errorf("kernel-only report grew validation/roofline sections: %s", body)
+	}
+
+	code, _, body = getAnalyze(t, srv.URL+"/jobs/"+sub.JobID+"/analyze?validate=1")
+	if code != http.StatusBadRequest {
+		t.Errorf("forced validate on kernel-only job: HTTP %d, body %s", code, body)
+	}
+}

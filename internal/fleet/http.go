@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"time"
 
+	"energybench/internal/harness"
+	"energybench/internal/model"
 	"energybench/internal/store"
 )
 
@@ -25,6 +27,8 @@ const retryAfter = 500 * time.Millisecond
 //	GET  /jobs                    list job statuses
 //	GET  /jobs/{id}               one job's status
 //	GET  /jobs/{id}/results       stream merged store records as NDJSON
+//	GET  /jobs/{id}/analyze       analysis report over the job's merged store
+//	                              (?activity=nominal|counters&validate=1&roofline=1)
 //	GET  /agents                  list registered agents
 //	POST /agents/register         agent registration
 //	POST /agents/{id}/heartbeat   agent liveness
@@ -48,6 +52,7 @@ func (c *Coordinator) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, st)
 	})
 	mux.HandleFunc("GET /jobs/{id}/results", c.handleResults)
+	mux.HandleFunc("GET /jobs/{id}/analyze", c.handleAnalyze)
 	mux.HandleFunc("GET /agents", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, c.Agents())
 	})
@@ -194,6 +199,61 @@ func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 			return // client went away
 		}
 	}
+}
+
+// handleAnalyze fits the power model over the job's merged store and returns
+// the same analysis document the local `analyze` subcommand prints, so a
+// submitter never has to download a store just to see the fit. Query
+// parameters mirror the CLI flags: activity=nominal|counters selects the
+// activity source; validate=1/roofline=1 require the external-workload
+// sections (otherwise they appear automatically when workload results exist).
+func (c *Coordinator) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	path, err := c.ResultsPath(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	boolParam := func(name string) (bool, error) {
+		switch v := r.URL.Query().Get(name); v {
+		case "", "0", "false":
+			return false, nil
+		case "1", "true":
+			return true, nil
+		default:
+			return false, fmt.Errorf("%w: %s=%q (want 1|true|0|false)", ErrBadRequest, name, v)
+		}
+	}
+	opts := model.ReportOptions{Activity: r.URL.Query().Get("activity")}
+	if opts.Validate, err = boolParam("validate"); err != nil {
+		writeError(w, err)
+		return
+	}
+	if opts.Roofline, err = boolParam("roofline"); err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := store.Open(path)
+	if err != nil {
+		writeError(w, fmt.Errorf("fleet: opening job store: %w", err))
+		return
+	}
+	defer st.Close()
+	var results []harness.Result
+	for rec, qerr := range st.Query(store.Filter{}) {
+		if qerr != nil {
+			writeError(w, fmt.Errorf("fleet: reading job store: %w", qerr))
+			return
+		}
+		results = append(results, rec.Result)
+	}
+	rep, err := model.BuildReport(results, opts)
+	if err != nil {
+		// Analysis failures reflect what the job's store holds (too few
+		// observations, nothing to validate), not a coordinator fault.
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

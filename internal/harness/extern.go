@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"energybench/internal/bench"
+)
+
+// ExternSpec makes a trial an external-workload trial: instead of running a
+// catalog kernel in worker threads, the executor builds (once) and launches
+// an arbitrary binary as the metered region. It is fully serializable, so
+// extern trials travel through campaign plans, the parallel Scheduler, and
+// fleet batches exactly like kernel trials; only an extern-aware executor
+// (internal/extwork) can run them.
+type ExternSpec struct {
+	// Workload names the workload; it becomes the "|w:" key dimension and
+	// the result's Workload field. Must not contain '|' or '/'.
+	Workload string `json:"workload"`
+	// Exec is the argv to launch. "${THREADS}" and "${CPUS}" in any element
+	// expand to the trial's thread count and comma-separated CPU assignment.
+	Exec []string `json:"exec"`
+	// Env are extra environment variables for the child, with the same
+	// ${THREADS}/${CPUS} expansion — how e.g. OMP_NUM_THREADS joins the
+	// threads axis.
+	Env map[string]string `json:"env,omitempty"`
+	// Dir is the working directory for the build step and the child;
+	// empty means the harness process's own working directory.
+	Dir string `json:"dir,omitempty"`
+	// Build, when non-empty, is a command run once per workload (not per
+	// trial) before the first launch; a build failure fails every trial of
+	// the workload.
+	Build []string `json:"build,omitempty"`
+	// ExpectExit is the exit status that counts as success (usually 0).
+	ExpectExit int `json:"expect_exit,omitempty"`
+	// Timeout bounds one repetition's child process; 0 falls back to the
+	// executor-level trial timeout, and 0 there means unbounded.
+	Timeout time.Duration `json:"timeout_ns,omitempty"`
+	// Components declares the workload's nominal per-thread activity mix
+	// over the kernel component vocabulary (e.g. {int-alu: 1}), used by
+	// model validation to build the predicted-activity vector and by the
+	// mock meter/counter backends to plant a matching load.
+	Components map[bench.Component]float64 `json:"components,omitempty"`
+}
+
+// Validate checks the spec can be keyed and launched.
+func (s *ExternSpec) Validate() error {
+	if s.Workload == "" {
+		return fmt.Errorf("harness: extern spec has no workload name")
+	}
+	if strings.ContainsAny(s.Workload, "|/") {
+		return fmt.Errorf("harness: workload name %q may not contain '|' or '/'", s.Workload)
+	}
+	if len(s.Exec) == 0 || s.Exec[0] == "" {
+		return fmt.Errorf("harness: workload %q has no exec command", s.Workload)
+	}
+	if s.ExpectExit < 0 || s.ExpectExit > 255 {
+		return fmt.Errorf("harness: workload %q expect_exit %d outside 0..255", s.Workload, s.ExpectExit)
+	}
+	if s.Timeout < 0 {
+		return fmt.Errorf("harness: workload %q has negative timeout", s.Workload)
+	}
+	for c, w := range s.Components {
+		if c == "" {
+			return fmt.Errorf("harness: workload %q has an unnamed component", s.Workload)
+		}
+		if w < 0 {
+			return fmt.Errorf("harness: workload %q component %s has negative weight %v", s.Workload, c, w)
+		}
+	}
+	return nil
+}

@@ -183,6 +183,13 @@ type Result struct {
 	// 0 when sampling was off. The per-rep series live on the samples.
 	// Store schema v3.
 	SampleInterval time.Duration `json:"sample_interval_ns,omitempty"`
+	// Workload names the external workload this result measured; empty for
+	// kernel results (keys and stores are then byte-identical to earlier
+	// builds). WorkloadComponents echoes the workload's declared per-thread
+	// activity mix, so model validation can rebuild the nominal activity
+	// vector from the store alone. Store schema v5.
+	Workload           string                      `json:"workload,omitempty"`
+	WorkloadComponents map[bench.Component]float64 `json:"workload_components,omitempty"`
 	// Host and Microarch identify the machine that executed the trial.
 	// They are empty for single-host runs (keys and stores are then
 	// byte-identical to earlier builds) and stamped by the fleet

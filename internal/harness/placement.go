@@ -47,6 +47,14 @@ func cpuAssignment(p Placement, n int) []int {
 	return assignFromGroups(p, n, coreGroups())
 }
 
+// CPUAssignment exposes the placement policy's topology walk to executors
+// outside this package: the external-workload executor pins child processes
+// to the same CPUs a kernel trial's worker threads would get. Nil for
+// PlaceNone (leave scheduling to the OS).
+func CPUAssignment(p Placement, n int) []int {
+	return cpuAssignment(p, n)
+}
+
 // assignFromGroups orders logical CPUs per the placement policy over the
 // given physical-core groups and assigns n threads round-robin over that
 // order.

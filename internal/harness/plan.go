@@ -58,6 +58,12 @@ type Trial struct {
 	// repetition, recording a time-resolved series per sample. It serializes
 	// with the trial, so subprocess workers sample identically.
 	SampleInterval time.Duration `json:"sample_interval_ns,omitempty"`
+	// Extern, when non-nil, makes this an external-workload trial: the
+	// metered region is a launched child process instead of kernel worker
+	// threads. Spec then carries only the workload's name (no kernel), and
+	// the configuration key grows a "|w:workload" dimension. Only an
+	// extern-aware executor (internal/extwork) can run such trials.
+	Extern *ExternSpec `json:"extern,omitempty"`
 }
 
 // Name labels the trial for logs and errors: "specA" or "specA+specB".
@@ -87,19 +93,28 @@ func (t Trial) Key(meterName string) string {
 	if t.SpecB != nil {
 		specB, threadsB, itersB = t.SpecB.Name, t.Threads, t.ItersB
 	}
-	return configKey(t.Spec.Name, specB, t.Threads, threadsB, t.Placement, meterName, t.Iters, itersB)
+	key := configKey(t.Spec.Name, specB, t.Threads, threadsB, t.Placement, meterName, t.Iters, itersB)
+	if t.Extern != nil {
+		key += "|w:" + t.Extern.Workload
+	}
+	return key
 }
 
 // ResultKey derives the configuration identity of a measured result: two
-// results with the same key measured the same configuration. A result
-// stamped with a host (a fleet merge) carries the host — and, when known,
-// the microarchitecture — as trailing key dimensions, so the same
-// configuration measured on two machines yields two live records instead of
-// one clobbering the other under last-wins dedup. Hostless results keep the
-// exact historical six-field key, so single-host stores are byte-identical
-// to earlier builds.
+// results with the same key measured the same configuration. An external
+// workload carries a "|w:workload" dimension right after the six base
+// fields, so a workload and a kernel spec sharing a name stay two live
+// records. A result stamped with a host (a fleet merge) then carries the
+// host — and, when known, the microarchitecture — as trailing key
+// dimensions, so the same configuration measured on two machines yields two
+// live records instead of one clobbering the other under last-wins dedup.
+// Workload-less, hostless results keep the exact historical six-field key,
+// so single-host kernel stores are byte-identical to earlier builds.
 func ResultKey(r Result) string {
 	key := configKey(r.Spec, r.SpecB, r.Threads, r.ThreadsB, r.Placement, r.Meter, r.Iters, r.ItersB)
+	if r.Workload != "" {
+		key += "|w:" + r.Workload
+	}
 	if r.Host != "" {
 		key += "|h:" + r.Host
 		if r.Microarch != "" {
@@ -132,6 +147,9 @@ type KeyFields struct {
 	Meter     string
 	Iters     int
 	ItersB    int
+	// Workload is the optional external-workload dimension ("|w:workload");
+	// empty for kernel keys.
+	Workload string
 	// Host and Microarch are the optional trailing fleet dimensions
 	// ("|h:host|u:microarch"); empty for single-host keys.
 	Host      string
@@ -140,15 +158,16 @@ type KeyFields struct {
 
 // ParseKey decodes a configuration key produced by Trial.Key/ResultKey
 // back into its components, letting stores filter on spec, threads,
-// placement, and meter from their key index alone — without deserializing
-// any result. Six-field keys are the historical single-host form; a
-// seventh "h:host" field (and an eighth "u:microarch" field, only ever
-// after a host) carries the fleet dimensions. ok is false for keys in an
-// unknown format (e.g. written by a different build); callers using keys
-// as a query pre-filter must then fall back to reading the record itself.
+// placement, meter, and workload from their key index alone — without
+// deserializing any result. Six-field keys are the historical single-host
+// kernel form; optional trailing fields follow in strict order — "w:workload"
+// (external workload), then "h:host", then "u:microarch" (fleet dimensions,
+// a microarch only ever after a host). ok is false for keys in an unknown
+// format (e.g. written by a different build); callers using keys as a query
+// pre-filter must then fall back to reading the record itself.
 func ParseKey(key string) (KeyFields, bool) {
 	parts := strings.Split(key, "|")
-	if len(parts) < 6 || len(parts) > 8 {
+	if len(parts) < 6 || len(parts) > 9 {
 		return KeyFields{}, false
 	}
 	kf := KeyFields{
@@ -164,19 +183,36 @@ func ParseKey(key string) (KeyFields, bool) {
 	if kf.Iters, kf.ItersB, ok = parseKeyPair(parts[5], 'i'); !ok {
 		return KeyFields{}, false
 	}
-	if len(parts) >= 7 {
-		host, ok := strings.CutPrefix(parts[6], "h:")
+	// Trailing optional dimensions, each at most once, in w: → h: → u:
+	// order; u: requires a preceding h:.
+	rest := parts[6:]
+	if len(rest) > 0 {
+		if w, ok := strings.CutPrefix(rest[0], "w:"); ok {
+			if w == "" {
+				return KeyFields{}, false
+			}
+			kf.Workload = w
+			rest = rest[1:]
+		}
+	}
+	if len(rest) > 0 {
+		host, ok := strings.CutPrefix(rest[0], "h:")
 		if !ok || host == "" {
 			return KeyFields{}, false
 		}
 		kf.Host = host
+		rest = rest[1:]
 	}
-	if len(parts) == 8 {
-		uarch, ok := strings.CutPrefix(parts[7], "u:")
+	if len(rest) > 0 {
+		uarch, ok := strings.CutPrefix(rest[0], "u:")
 		if !ok || uarch == "" {
 			return KeyFields{}, false
 		}
 		kf.Microarch = uarch
+		rest = rest[1:]
+	}
+	if len(rest) > 0 {
+		return KeyFields{}, false
 	}
 	return kf, true
 }

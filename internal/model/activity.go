@@ -81,6 +81,10 @@ func countedEvents(c *harness.Counters) []string {
 // its component needs.
 func FromResultsCounters(results []harness.Result) (obs []Observation, skipped int, err error) {
 	for _, r := range results {
+		// External workloads are validation targets, not fit observations.
+		if r.Workload != "" {
+			continue
+		}
 		if r.Counters == nil {
 			skipped++
 			continue

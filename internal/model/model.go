@@ -20,10 +20,15 @@ type Observation struct {
 // FromResults converts harness results into fit observations. A solo run
 // contributes its thread count as activity on its component; a co-run
 // contributes both specs' thread counts on their respective components
-// (summed when both stress the same component).
+// (summed when both stress the same component). External-workload results
+// are skipped: they are what the fitted model is validated *against*
+// (Validate), never part of the micro-benchmark design it is fitted on.
 func FromResults(results []harness.Result) []Observation {
 	obs := make([]Observation, 0, len(results))
 	for _, r := range results {
+		if r.Workload != "" {
+			continue
+		}
 		act := map[bench.Component]float64{r.Component: float64(r.Threads)}
 		label := fmt.Sprintf("%s/t%d/%s", r.Spec, r.Threads, r.Placement)
 		if r.IsCoRun() {
@@ -394,7 +399,7 @@ func Marginals(results []harness.Result) []Marginal {
 	solo := map[cfg]harness.Result{}
 	subjects := map[[2]string]bool{} // (spec, meter)
 	for _, r := range results {
-		if r.IsCoRun() {
+		if r.IsCoRun() || r.Workload != "" {
 			continue
 		}
 		solo[cfg{r.Spec, r.Meter, r.Threads, r.Placement}] = r

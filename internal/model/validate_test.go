@@ -1,0 +1,188 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"energybench/internal/bench"
+	"energybench/internal/harness"
+	"energybench/internal/stats"
+)
+
+// kernelResult synthesizes one solo kernel result under the planted model
+// P = 10 + 2·a_int-alu + 5·a_dram.
+func kernelResult(spec string, comp bench.Component, threads int, powerW float64) harness.Result {
+	return harness.Result{
+		Spec: spec, Component: comp, Threads: threads, Iters: 1_000_000,
+		Placement: harness.PlaceNone, Meter: "mock",
+		PowerW:  stats.Summary{N: 2, Mean: powerW},
+		TimeS:   stats.Summary{N: 2, Mean: 0.5},
+		EnergyJ: stats.Summary{N: 2, Mean: powerW * 0.5},
+	}
+}
+
+// workloadResult synthesizes one external-workload result.
+func workloadResult(name string, threads int, comps map[bench.Component]float64, powerW, timeS float64) harness.Result {
+	return harness.Result{
+		Spec: name, Workload: name, WorkloadComponents: comps,
+		Threads: threads, Iters: 1, Placement: harness.PlaceNone, Meter: "mock",
+		PowerW:  stats.Summary{N: 2, Mean: powerW},
+		TimeS:   stats.Summary{N: 2, Mean: timeS},
+		EnergyJ: stats.Summary{N: 2, Mean: powerW * timeS},
+	}
+}
+
+func counters(instrRate, llcMissRate float64) *harness.Counters {
+	return &harness.Counters{
+		Backend: "mock",
+		Reps:    1,
+		Events: []harness.CounterEvent{
+			{Event: "instructions", RateHzMean: instrRate},
+			{Event: "llc-misses", RateHzMean: llcMissRate},
+		},
+	}
+}
+
+// fixtureResults builds a store's worth of synthetic results: a kernel grid
+// that fits the planted model exactly, plus workloads to validate against.
+func fixtureResults() []harness.Result {
+	intALU2 := kernelResult("int-alu", bench.CompIntALU, 2, 14)
+	intALU2.Counters = counters(6.4e9, 0) // roofline peak instruction rate
+	return []harness.Result{
+		kernelResult("int-alu", bench.CompIntALU, 1, 12),
+		intALU2,
+		kernelResult("chase-dram", bench.CompDRAM, 1, 15),
+		kernelResult("chase-dram", bench.CompDRAM, 2, 20),
+	}
+}
+
+func fitFixture(t *testing.T, results []harness.Result) *Fit {
+	t.Helper()
+	fit, err := FitPower(FromResults(results))
+	if err != nil {
+		t.Fatalf("FitPower: %v", err)
+	}
+	return fit
+}
+
+func TestValidateNominal(t *testing.T) {
+	results := fixtureResults()
+	// Measured 1% above the model's 14 W prediction for int-alu × 2 threads.
+	stress := workloadResult("stress", 2, map[bench.Component]float64{bench.CompIntALU: 1}, 14.14, 2)
+	// Exactly on the 15 W prediction for one dram-bound thread.
+	memhog := workloadResult("memhog", 1, map[bench.Component]float64{bench.CompDRAM: 1}, 15, 1)
+	results = append(results, stress, memhog)
+
+	v, err := Validate(fitFixture(t, results), "", results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Activity != ActivityNominal || v.Predicted != 2 || v.Failed != 0 {
+		t.Fatalf("validation = %+v, want 2 nominal predictions", v)
+	}
+	if len(v.Workloads) != 2 {
+		t.Fatalf("%d rows, want 2", len(v.Workloads))
+	}
+	// Rows sort by label: memhog/t1 before stress/t2.
+	mh, st := v.Workloads[0], v.Workloads[1]
+	if mh.Workload != "memhog" || st.Workload != "stress" {
+		t.Fatalf("row order: %q, %q", mh.Workload, st.Workload)
+	}
+	if math.Abs(mh.PredictedW-15) > 1e-6 || mh.PowerErrPct > 1e-6 {
+		t.Errorf("memhog: predicted %.4f W, err %.4f%%; want 15 W exact", mh.PredictedW, mh.PowerErrPct)
+	}
+	if math.Abs(st.PredictedW-14) > 1e-6 || math.Abs(st.PowerErrPct-100*0.14/14.14) > 0.01 {
+		t.Errorf("stress: predicted %.4f W, err %.4f%%", st.PredictedW, st.PowerErrPct)
+	}
+	if math.Abs(st.PredictedEnergyJ-28) > 1e-6 {
+		t.Errorf("stress predicted energy = %.4f J, want 28 (14 W × 2 s)", st.PredictedEnergyJ)
+	}
+	wantMAPE := (0 + 100*0.14/14.14) / 2
+	if math.Abs(v.MAPEPct-wantMAPE) > 0.01 {
+		t.Errorf("MAPE = %.4f%%, want %.4f%%", v.MAPEPct, wantMAPE)
+	}
+}
+
+func TestValidateReportsUnpredictableRows(t *testing.T) {
+	results := fixtureResults()
+	good := workloadResult("ok", 1, map[bench.Component]float64{bench.CompIntALU: 1}, 12, 1)
+	noComps := workloadResult("mystery", 1, nil, 12, 1)
+	unfitted := workloadResult("fpu-heavy", 1, map[bench.Component]float64{bench.CompFPU: 1}, 12, 1)
+	results = append(results, good, noComps, unfitted)
+
+	v, err := Validate(fitFixture(t, results), ActivityNominal, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Predicted != 1 || v.Failed != 2 {
+		t.Fatalf("predicted/failed = %d/%d, want 1/2 (failures stay in the report)", v.Predicted, v.Failed)
+	}
+	errs := map[string]string{}
+	for _, row := range v.Workloads {
+		errs[row.Workload] = row.Err
+	}
+	if !strings.Contains(errs["mystery"], "declares no components") {
+		t.Errorf("mystery err = %q", errs["mystery"])
+	}
+	if !strings.Contains(errs["fpu-heavy"], "never fitted") {
+		t.Errorf("fpu-heavy err = %q", errs["fpu-heavy"])
+	}
+
+	// Kernel-only stores cannot be validated at all.
+	if _, err := Validate(fitFixture(t, results), "", fixtureResults()); err == nil ||
+		!strings.Contains(err.Error(), "no external-workload results") {
+		t.Errorf("kernel-only validate: err = %v", err)
+	}
+}
+
+func TestBuildRoofline(t *testing.T) {
+	results := fixtureResults()
+	stress := workloadResult("stress", 2, map[bench.Component]float64{bench.CompIntALU: 1}, 14, 2)
+	stress.Counters = counters(3.2e9, 1e5)
+	memhog := workloadResult("memhog", 1, map[bench.Component]float64{bench.CompDRAM: 1}, 15, 1)
+	memhog.Counters = counters(1e8, 5e7)
+	blind := workloadResult("blind", 1, nil, 12, 1) // no counters at all
+	results = append(results, stress, memhog, blind)
+
+	rf, err := BuildRoofline(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dram ceiling is the chase-dram kernel's best configuration:
+	// 64 B × 1e6 iters × 2 threads / 0.5 s.
+	wantDRAM := 64.0 * 1e6 * 2 / 0.5
+	if got := rf.CeilingsBytesPerSec["dram"]; math.Abs(got-wantDRAM) > 1 {
+		t.Errorf("dram ceiling = %g, want %g", got, wantDRAM)
+	}
+	if rf.PeakInstrPerSec != 6.4e9 {
+		t.Errorf("peak instr/s = %g, want 6.4e9 from the counted kernel", rf.PeakInstrPerSec)
+	}
+	if want := 6.4e9 / wantDRAM; math.Abs(rf.RidgeInstrPerByte-want) > 1e-9 {
+		t.Errorf("ridge = %g, want %g", rf.RidgeInstrPerByte, want)
+	}
+	if len(rf.Points) != 3 {
+		t.Fatalf("%d points, want 3", len(rf.Points))
+	}
+	byName := map[string]RooflinePoint{}
+	for _, p := range rf.Points {
+		byName[p.Workload] = p
+	}
+	// stress: 3.2e9 instr/s over 6.4e6 B/s → intensity 500, far above the
+	// ridge → compute-bound. memhog: 1e8 over 3.2e9 → 0.031, memory-bound.
+	if p := byName["stress"]; p.Bound != "compute" || math.Abs(p.IntensityInstrPerByte-500) > 1e-9 {
+		t.Errorf("stress point = %+v", p)
+	}
+	if p := byName["memhog"]; p.Bound != "memory" {
+		t.Errorf("memhog point = %+v", p)
+	}
+	if p := byName["blind"]; p.Err == "" || !strings.Contains(p.Err, "no counters") {
+		t.Errorf("counter-less workload must stay in the report with an error: %+v", p)
+	}
+
+	// A kernel-only store has nothing to place.
+	if _, err := BuildRoofline(fixtureResults()); err == nil ||
+		!strings.Contains(err.Error(), "no external-workload results") {
+		t.Errorf("kernel-only roofline: err = %v", err)
+	}
+}

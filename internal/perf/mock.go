@@ -91,6 +91,14 @@ func (m *Mock) OpenThread(_ int, workload string) (Session, error) {
 	}, nil
 }
 
+// OpenTask opens a deterministic session for an external workload's task.
+// The mock has no real process to attach to, so the session behaves exactly
+// like an OpenThread session: planted rate × elapsed time under the workload
+// hint (the external workload's dominant component name).
+func (m *Mock) OpenTask(_, _ int, workload string) (Session, error) {
+	return m.OpenThread(-1, workload)
+}
+
 type mockSession struct {
 	m        *Mock
 	workload string

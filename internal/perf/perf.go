@@ -180,6 +180,19 @@ type ActivityMeter interface {
 	OpenThread(cpu int, workload string) (Session, error)
 }
 
+// TaskMeter is an optional ActivityMeter extension implemented by backends
+// that can attach counters to *another* process's task (thread) instead of
+// the calling thread — how the external-workload executor meters a launched
+// child. tid is the kernel task id to count (a TID from /proc/<pid>/task, or
+// the child's PID for process-wide counting); cpu restricts counting to one
+// logical CPU (-1: wherever the task runs); workload hints the mock backend
+// exactly as in OpenThread. Sessions count the task's descendants too
+// (threads spawned after the session opens), so attaching to the stopped
+// child's initial task is enough to cover whatever it forks once resumed.
+type TaskMeter interface {
+	OpenTask(tid, cpu int, workload string) (Session, error)
+}
+
 // Session counts events around one measured region. Start resets and
 // enables the counters; Stop disables them and reads the scaled counts.
 // Start/Stop may be called repeatedly (one pair per repetition); Close

@@ -29,6 +29,7 @@ var perfEventOpenNR = map[string]uintptr{
 // (uapi/linux/perf_event.h).
 const (
 	attrBitDisabled      = 1 << 0
+	attrBitInherit       = 1 << 1
 	attrBitExcludeKernel = 1 << 5
 	attrBitExcludeHV     = 1 << 6
 
@@ -124,6 +125,35 @@ func (m *linuxMeter) OpenThread(cpu int, _ string) (Session, error) {
 			group = s.fds[0]
 		}
 		fd, err := perfEventOpen(&attr, 0, cpu, group, perfFlagFDCloexec)
+		if err != nil {
+			s.Close()
+			return nil, openError(m.events[i], err)
+		}
+		s.fds = append(s.fds, fd)
+	}
+	return s, nil
+}
+
+// OpenTask opens counters attached to another process's task (TID). The
+// inherit bit makes threads the task spawns later count too — essential for
+// an external workload attached before SIGCONT, whose worker threads don't
+// exist yet. The kernel rejects inherit combined with PERF_FORMAT_GROUP, so
+// unlike OpenThread each event gets its own ungrouped FD carrying its own
+// time_enabled/time_running pair and multiplex-scales independently.
+func (m *linuxMeter) OpenTask(tid, cpu int, _ string) (Session, error) {
+	if tid <= 0 {
+		return nil, fmt.Errorf("perf: OpenTask needs a positive tid, got %d", tid)
+	}
+	s := &linuxTaskSession{n: len(m.defs), last: Counts{Values: make([]EventCount, len(m.defs))}}
+	for i, def := range m.defs {
+		attr := perfEventAttr{
+			Type:       def.typ,
+			Size:       attrSize,
+			Config:     def.config,
+			ReadFormat: formatTotalTimeEnabled | formatTotalTimeRunning,
+			Bits:       attrBitDisabled | attrBitInherit | attrBitExcludeKernel | attrBitExcludeHV,
+		}
+		fd, err := perfEventOpen(&attr, tid, cpu, -1, perfFlagFDCloexec)
 		if err != nil {
 			s.Close()
 			return nil, openError(m.events[i], err)
@@ -278,6 +308,114 @@ func (s *linuxSession) readCounts() (Counts, error) {
 }
 
 func (s *linuxSession) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, fd := range s.fds {
+		if err := syscall.Close(fd); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.fds = nil
+	return first
+}
+
+// linuxTaskSession is one attached task's counters: per-event ungrouped FDs
+// (the inherit bit forbids group reads), each read yielding its own
+// {value, time_enabled, time_running} triple. Counters open disabled and
+// the session is used for one Start/Stop cycle around one child run, so no
+// reset/baseline bookkeeping is needed: values and times start at zero and,
+// with inherit, aggregate over the task and every descendant it spawns.
+type linuxTaskSession struct {
+	mu   sync.Mutex
+	fds  []int
+	n    int
+	last Counts
+}
+
+func (s *linuxTaskSession) ioctlAll(req uintptr) error {
+	for _, fd := range s.fds {
+		// Flag 0, not PERF_IOC_FLAG_GROUP: each fd stands alone.
+		if _, _, errno := syscall.Syscall(syscall.SYS_IOCTL, uintptr(fd), req, 0); errno != 0 {
+			return fmt.Errorf("perf: ioctl %#x: %w", req, errno)
+		}
+	}
+	return nil
+}
+
+// Start enables the counters. Inherited instances created afterwards (the
+// task's new threads) start enabled, so enabling while the child is still
+// stopped covers its whole lifetime.
+func (s *linuxTaskSession) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.fds) == 0 {
+		return fmt.Errorf("perf: task session is closed")
+	}
+	return s.ioctlAll(perfIOCEnable)
+}
+
+// Stop disables the counters and reads the aggregated counts.
+func (s *linuxTaskSession) Stop() (Counts, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.fds) == 0 {
+		return Counts{}, fmt.Errorf("perf: task session is closed")
+	}
+	if err := s.ioctlAll(perfIOCDisable); err != nil {
+		return Counts{}, err
+	}
+	c, err := s.readCounts()
+	if err != nil {
+		return Counts{}, err
+	}
+	s.last = c
+	return c, nil
+}
+
+// Poll reads the counters without disabling them; on a closed session it
+// returns the last full reading, mirroring linuxSession.
+func (s *linuxTaskSession) Poll() (Counts, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.fds) == 0 {
+		return s.last, nil
+	}
+	c, err := s.readCounts()
+	if err != nil {
+		return Counts{}, err
+	}
+	s.last = c
+	return c, nil
+}
+
+// readCounts reads each fd's {value, time_enabled, time_running} triple.
+// With inherit, all three are sums over the task and its descendants; rate
+// consumers should divide by a wall clock, not time_enabled, to get the
+// process-aggregate rate. Callers hold s.mu.
+func (s *linuxTaskSession) readCounts() (Counts, error) {
+	c := Counts{Values: make([]EventCount, s.n)}
+	var words [3]uint64
+	buf := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(words)*8)
+	for i, fd := range s.fds {
+		n, err := syscall.Read(fd, buf)
+		if err != nil {
+			return Counts{}, fmt.Errorf("perf: reading task counter: %w", err)
+		}
+		if n != len(buf) {
+			return Counts{}, fmt.Errorf("perf: short task counter read: %d bytes, want %d", n, len(buf))
+		}
+		c.Values[i] = EventCount{
+			Raw:           words[0],
+			Scaled:        scaleCount(words[0], words[1], words[2]),
+			TimeEnabledNS: words[1],
+			TimeRunningNS: words[2],
+		}
+	}
+	return c, nil
+}
+
+func (s *linuxTaskSession) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var first error

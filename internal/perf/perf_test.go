@@ -302,3 +302,37 @@ func TestMockPollMidRepetition(t *testing.T) {
 		t.Errorf("post-close Poll = %v, want frozen Stop value %v", got, want)
 	}
 }
+
+// TestMockOpenTask pins the TaskMeter extension the external-workload
+// executor attaches with: an OpenTask session must be a full mock session —
+// planted rate × elapsed time under the workload hint — so extern trials
+// against the mock backend recover the same rates kernel trials do.
+func TestMockOpenTask(t *testing.T) {
+	now := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	m := NewMockWithClock([]string{"instructions", "llc-misses"}, clock)
+
+	var tm TaskMeter = m // the mock must satisfy the extension
+	s, err := tm.OpenTask(4321, -1, "int-alu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(250 * time.Millisecond)
+	counts, err := s.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts.Values) != 2 {
+		t.Fatalf("counted %d events, want 2", len(counts.Values))
+	}
+	for i, ev := range []string{"instructions", "llc-misses"} {
+		want := MockRate("int-alu", ev) * 0.25
+		if got := counts.Values[i].Scaled; math.Abs(got-want) > want*1e-9+1 {
+			t.Errorf("%s = %g, want %g (planted rate × 0.25 s)", ev, got, want)
+		}
+	}
+}

@@ -29,7 +29,13 @@ import (
 //	     measured on two machines stays two live records. v1–v3 records
 //	     (and any result without a host) load unchanged with their exact
 //	     six-field keys.
-const SchemaVersion = 4
+//	v5 — result may be an external-workload measurement (result.workload,
+//	     result.workload_components: the declared per-thread activity mix);
+//	     the configuration key then carries a "|w:workload" dimension
+//	     between the six base fields and any fleet dimensions. v1–v4
+//	     records (and any workload-less result) load unchanged with their
+//	     exact keys.
+const SchemaVersion = 5
 
 // maxLine bounds one JSONL record; results with many samples stay far under.
 const maxLine = 16 << 20
@@ -66,12 +72,16 @@ type Filter struct {
 	// Hosts selects on the executing machine stamped by a fleet merge; a
 	// single-host result (no host) matches only an empty Hosts filter.
 	Hosts []string
+	// Workloads selects on the external-workload dimension; a kernel
+	// result (no workload) matches only an empty Workloads filter.
+	Workloads []string
 }
 
 // IsZero reports whether the filter matches everything.
 func (f Filter) IsZero() bool {
 	return len(f.Specs) == 0 && len(f.Threads) == 0 && len(f.Placements) == 0 &&
-		len(f.Meters) == 0 && len(f.Keys) == 0 && len(f.Hosts) == 0
+		len(f.Meters) == 0 && len(f.Keys) == 0 && len(f.Hosts) == 0 &&
+		len(f.Workloads) == 0
 }
 
 // Match reports whether the result passes the filter.
@@ -79,7 +89,7 @@ func (f Filter) Match(r harness.Result) bool {
 	if len(f.Keys) > 0 && !containsString(f.Keys, harness.ResultKey(r)) {
 		return false
 	}
-	return f.matchFields(r.Spec, r.SpecB, r.Threads, string(r.Placement), r.Meter, r.Host)
+	return f.matchFields(r.Spec, r.SpecB, r.Threads, string(r.Placement), r.Meter, r.Host, r.Workload)
 }
 
 // MatchKey reports whether a record stored under the given configuration
@@ -96,12 +106,12 @@ func (f Filter) MatchKey(key string) bool {
 	if !ok {
 		return true
 	}
-	return f.matchFields(kf.Spec, kf.SpecB, kf.Threads, string(kf.Placement), kf.Meter, kf.Host)
+	return f.matchFields(kf.Spec, kf.SpecB, kf.Threads, string(kf.Placement), kf.Meter, kf.Host, kf.Workload)
 }
 
 // matchFields is the single filter predicate shared by Match and MatchKey,
 // so the index pre-filter can never disagree with the record-level filter.
-func (f Filter) matchFields(spec, specB string, threads int, placement, meter, host string) bool {
+func (f Filter) matchFields(spec, specB string, threads int, placement, meter, host, workload string) bool {
 	if len(f.Specs) > 0 {
 		ok := false
 		for _, s := range f.Specs {
@@ -133,6 +143,9 @@ func (f Filter) matchFields(spec, specB string, threads int, placement, meter, h
 		return false
 	}
 	if len(f.Hosts) > 0 && !containsString(f.Hosts, host) {
+		return false
+	}
+	if len(f.Workloads) > 0 && !containsString(f.Workloads, workload) {
 		return false
 	}
 	return true
